@@ -1,0 +1,115 @@
+package alltoall_test
+
+import (
+	"testing"
+
+	"alltoall"
+)
+
+func TestFacadeRun(t *testing.T) {
+	res, err := alltoall.Run(alltoall.AR, alltoall.Options{
+		Shape:    alltoall.NewTorus(4, 4, 1),
+		MsgBytes: 64,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PercentPeak <= 0 {
+		t.Errorf("percent of peak = %v", res.PercentPeak)
+	}
+}
+
+func TestFacadeStrategies(t *testing.T) {
+	ss := alltoall.Strategies()
+	if len(ss) != 7 {
+		t.Fatalf("strategies = %v", ss)
+	}
+	want := map[alltoall.Strategy]bool{
+		alltoall.AR: true, alltoall.DR: true, alltoall.Throttle: true,
+		alltoall.MPI: true, alltoall.TPS: true, alltoall.VMesh: true,
+		alltoall.XYZ: true,
+	}
+	for _, s := range ss {
+		if !want[s] {
+			t.Errorf("unexpected strategy %q", s)
+		}
+	}
+}
+
+func TestFacadePeak(t *testing.T) {
+	// Equation 2 on the paper's largest machine: 40x32x16, C = 5.
+	s := alltoall.NewTorus(40, 32, 16)
+	if got := alltoall.PeakTime(s, 1); got != float64(20480*5) {
+		t.Errorf("peak = %v", got)
+	}
+}
+
+func TestFacadeTPSDim(t *testing.T) {
+	if d := alltoall.SelectTPSLinearDim(alltoall.NewTorus(8, 32, 16)); d != alltoall.Y {
+		t.Errorf("linear dim = %v, want Y", d)
+	}
+}
+
+func TestFacadeMesh(t *testing.T) {
+	s := alltoall.NewMesh(8, 8, 4, true, true, false)
+	if s.Wrap[alltoall.Z] {
+		t.Error("Z should be a mesh dimension")
+	}
+	res, err := alltoall.Run(alltoall.DR, alltoall.Options{Shape: alltoall.NewMesh(4, 4, 1, true, true, false), MsgBytes: 32, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PayloadBytes == 0 {
+		t.Error("no payload delivered")
+	}
+}
+
+func TestFacadePredictions(t *testing.T) {
+	c := alltoall.DefaultCalib()
+	s := alltoall.NewTorus(8, 8, 8)
+	if alltoall.PredictDirect(c, s, 1000) <= alltoall.PeakTime(s, 1000) {
+		t.Error("Eq3 prediction must exceed the Eq2 peak (startup + header)")
+	}
+	if alltoall.PredictVMesh(c, s, 32, 16, 8) <= 0 {
+		t.Error("Eq4 prediction not positive")
+	}
+	cols, rows := alltoall.BalancedVMeshFactor(512)
+	if cols != 32 || rows != 16 {
+		t.Errorf("factorization %dx%d", cols, rows)
+	}
+}
+
+func TestFacadePattern(t *testing.T) {
+	res, err := alltoall.RunPattern(alltoall.Shift{Offset: 2}, alltoall.PatternOptions{
+		Shape:    alltoall.NewTorus(4, 4, 1),
+		MsgBytes: 128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages != 16 {
+		t.Errorf("messages = %d", res.Messages)
+	}
+}
+
+func TestFacadeTPSCreditFlowControl(t *testing.T) {
+	// Each intermediate forwards 3 finals x 2 packets per source (the
+	// fourth final in its plane is itself), so a batch of 4 yields credits.
+	res, err := alltoall.Run(alltoall.TPS, alltoall.Options{
+		Shape:           alltoall.NewTorus(8, 2, 2),
+		MsgBytes:        400,
+		Seed:            1,
+		TPSCreditWindow: 8,
+		TPSCreditBatch:  4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CreditPackets == 0 {
+		t.Error("flow control sent no credits")
+	}
+	if res.MaxIntermediateBacklog == 0 {
+		t.Error("no forwarding backlog recorded")
+	}
+}

@@ -1,0 +1,77 @@
+// Command aabench regenerates the paper's tables and figures on the
+// simulated Blue Gene/L torus.
+//
+// Usage:
+//
+//	aabench -exp table1            # one experiment
+//	aabench -exp all               # everything (long)
+//	aabench -exp table3 -full      # true machine sizes (hours)
+//	aabench -exp fig6 -csv         # CSV series instead of ASCII
+//
+// By default partitions larger than -maxnodes (1024) are scaled down by
+// halving every dimension, preserving the aspect ratio that drives the
+// paper's phenomena; rows are annotated with the simulated size.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"alltoall/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id: table1..table4, fig1..fig7, or all")
+	full := flag.Bool("full", false, "simulate true machine sizes (no scaling; very slow)")
+	maxNodes := flag.Int("maxnodes", 1024, "scale partitions above this many nodes")
+	seed := flag.Uint64("seed", 1, "randomization seed")
+	csv := flag.Bool("csv", false, "emit CSV instead of ASCII tables")
+	large := flag.Int("large", 0, "override the large-message payload bytes")
+	flag.Parse()
+
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "usage: aabench -exp <id>")
+		fmt.Fprintf(os.Stderr, "experiments: %v all\n", experiments.Order)
+		os.Exit(2)
+	}
+	cfg := experiments.Config{
+		Full:       *full,
+		MaxNodes:   *maxNodes,
+		Seed:       *seed,
+		LargeBytes: *large,
+	}
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.Order
+	}
+	for _, id := range ids {
+		runner, ok := experiments.Catalog[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "aabench: unknown experiment %q (have %v)\n", id, experiments.Order)
+			os.Exit(2)
+		}
+		start := time.Now()
+		table, err := runner(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aabench: %s: %v\n", id, err)
+			if len(ids) == 1 {
+				os.Exit(1)
+			}
+			continue // keep regenerating the remaining experiments
+		}
+		if *csv {
+			if err := table.WriteCSV(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "aabench: %v\n", err)
+				os.Exit(1)
+			}
+		} else {
+			if err := table.Write(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "aabench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("[%s completed in %s]\n\n", id, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

@@ -1,0 +1,50 @@
+// Command aamodel evaluates the paper's analytic performance model
+// (Equations 1-4) without running the simulator.
+//
+// Usage:
+//
+//	aamodel -shape 8x32x16 -msg 1024
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"alltoall/internal/collective"
+	"alltoall/internal/model"
+	"alltoall/internal/torus"
+)
+
+func main() {
+	x := flag.Int("x", 8, "X dimension")
+	y := flag.Int("y", 8, "Y dimension")
+	z := flag.Int("z", 8, "Z dimension")
+	msg := flag.Int("msg", 1024, "per-pair payload bytes")
+	flag.Parse()
+
+	shape := torus.New(*x, *y, *z)
+	if err := shape.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "aamodel: %v\n", err)
+		os.Exit(2)
+	}
+	c := model.DefaultCalib()
+	m := *msg
+	pvx, pvy := collective.BalancedFactor(shape.P())
+
+	peak := model.PeakTime(shape, m)
+	direct := model.DirectTime(c, shape, m)
+	vmesh := model.VMeshTime(c, shape, pvx, pvy, m)
+
+	fmt.Printf("partition            %v (%d nodes)\n", shape, shape.P())
+	fmt.Printf("contention C         %.3f (M/8 = %.3f on a torus)\n",
+		model.ContentionFactor(shape), float64(shape.MaxDim())/8)
+	fmt.Printf("message              %d bytes per pair\n", m)
+	fmt.Printf("peak time (Eq 2)     %.0f units = %.3f ms\n", peak, c.Seconds(peak)*1e3)
+	fmt.Printf("direct time (Eq 3)   %.0f units = %.3f ms (%.1f%% of peak)\n",
+		direct, c.Seconds(direct)*1e3, 100*peak/direct)
+	fmt.Printf("vmesh %3dx%-3d (Eq 4) %.0f units = %.3f ms\n", pvx, pvy, vmesh, c.Seconds(vmesh)*1e3)
+	fmt.Printf("crossover (Eq 3=4)   ~%d bytes ignoring startup\n", model.CrossoverBytes(c))
+	fmt.Printf("peak per-node rate   %.1f MB/s\n", model.PeakPerNodeBandwidth(c, shape))
+	fmt.Printf("TPS linear dim       %v\n", collective.SelectTPSLinearDim(shape))
+}

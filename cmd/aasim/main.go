@@ -1,0 +1,84 @@
+// Command aasim runs a single all-to-all configuration on the simulated
+// torus and prints a detailed result.
+//
+// Usage:
+//
+//	aasim -shape 8x32x16 -strategy TPS -msg 1024
+//	aasim -shape 8x8x4M -strategy AR -msg 240     # M marks a mesh dimension
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"alltoall"
+)
+
+// parseShape accepts "8", "8x8", "8x32x16", with an optional M suffix per
+// dimension marking it as a mesh (no wrap links).
+func parseShape(s string) (alltoall.Shape, error) {
+	parts := strings.Split(strings.ToLower(s), "x")
+	if len(parts) < 1 || len(parts) > 3 {
+		return alltoall.Shape{}, fmt.Errorf("shape %q: want 1-3 dimensions", s)
+	}
+	size := [3]int{1, 1, 1}
+	wrap := [3]bool{}
+	for i, p := range parts {
+		mesh := strings.HasSuffix(p, "m")
+		p = strings.TrimSuffix(p, "m")
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 1 {
+			return alltoall.Shape{}, fmt.Errorf("shape %q: bad dimension %q", s, p)
+		}
+		size[i] = v
+		wrap[i] = !mesh && v > 2
+	}
+	return alltoall.NewMesh(size[0], size[1], size[2], wrap[0], wrap[1], wrap[2]), nil
+}
+
+func main() {
+	shapeStr := flag.String("shape", "8x8x8", "partition, e.g. 8x32x16 or 8x8x4M (M = mesh dimension)")
+	strat := flag.String("strategy", "AR", "AR | DR | Throttle | MPI | TPS | VMesh")
+	msg := flag.Int("msg", 1024, "per-pair payload bytes")
+	seed := flag.Uint64("seed", 1, "randomization seed")
+	burst := flag.Int("burst", 0, "packets per destination visit (0 = default)")
+	dump := flag.String("dump", "", "file for a network state dump if the run stalls")
+	flag.Parse()
+
+	shape, err := parseShape(*shapeStr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aasim: %v\n", err)
+		os.Exit(2)
+	}
+	res, err := alltoall.Run(alltoall.Strategy(*strat), alltoall.Options{
+		Shape:     shape,
+		MsgBytes:  *msg,
+		Seed:      *seed,
+		Burst:     *burst,
+		DebugDump: *dump,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aasim: %v\n", err)
+		os.Exit(1)
+	}
+	calib := alltoall.DefaultCalib()
+	fmt.Printf("strategy        %s\n", res.Strategy)
+	fmt.Printf("partition       %v (%d nodes)\n", res.Shape, res.Shape.P())
+	fmt.Printf("message         %d bytes per pair\n", res.MsgBytes)
+	fmt.Printf("completion      %d units = %.3f ms\n", res.Time, res.Seconds*1e3)
+	fmt.Printf("peak (Eq 2)     %.0f units = %.3f ms\n", res.PeakTime, calib.Seconds(res.PeakTime)*1e3)
+	fmt.Printf("percent of peak %.1f%%\n", res.PercentPeak)
+	fmt.Printf("per-node rate   %.1f MB/s\n", res.PerNodeMBs)
+	fmt.Printf("packets         %d (%d wire bytes)\n", res.PacketsInjected, res.WireBytes)
+	fmt.Printf("mean latency    %.0f units = %.1f us\n", res.MeanLatencyUnits, calib.Seconds(res.MeanLatencyUnits)*1e6)
+	fmt.Printf("link util       mean %.2f max %.2f\n", res.MeanLinkUtil, res.MaxLinkUtil)
+	if res.Strategy == alltoall.TPS {
+		fmt.Printf("TPS linear dim  %v\n", res.TPSLinearDim)
+	}
+	if res.Strategy == alltoall.VMesh {
+		fmt.Printf("virtual mesh    %dx%d, phases %v units\n", res.VMeshCols, res.VMeshRows, res.PhaseTimes)
+	}
+}

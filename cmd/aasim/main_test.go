@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+func TestParseShape(t *testing.T) {
+	cases := []struct {
+		in      string
+		size    [3]int
+		wrap    [3]bool
+		wantErr bool
+	}{
+		{"8x8x8", [3]int{8, 8, 8}, [3]bool{true, true, true}, false},
+		{"8", [3]int{8, 1, 1}, [3]bool{true, false, false}, false},
+		{"8x32", [3]int{8, 32, 1}, [3]bool{true, true, false}, false},
+		{"8x8x4M", [3]int{8, 8, 4}, [3]bool{true, true, false}, false},
+		{"8x8x4m", [3]int{8, 8, 4}, [3]bool{true, true, false}, false},
+		{"8x2", [3]int{8, 2, 1}, [3]bool{true, false, false}, false},
+		{"", [3]int{}, [3]bool{}, true},
+		{"8x8x8x8", [3]int{}, [3]bool{}, true},
+		{"axb", [3]int{}, [3]bool{}, true},
+		{"0x8", [3]int{}, [3]bool{}, true},
+	}
+	for _, c := range cases {
+		s, err := parseShape(c.in)
+		if (err != nil) != c.wantErr {
+			t.Errorf("parseShape(%q) err = %v, wantErr %v", c.in, err, c.wantErr)
+			continue
+		}
+		if err != nil {
+			continue
+		}
+		if s.Size != c.size || s.Wrap != c.wrap {
+			t.Errorf("parseShape(%q) = %+v, want size %v wrap %v", c.in, s, c.size, c.wrap)
+		}
+	}
+}

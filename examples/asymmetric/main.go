@@ -1,0 +1,46 @@
+// Asymmetric-torus rescue: the paper's headline result. On an asymmetric
+// torus, the direct adaptive-routing all-to-all loses a large fraction of
+// peak to network contention (the long dimension's links saturate and
+// head-of-line blocking spreads); the Two Phase Schedule routes packets
+// along the long dimension first, to an intermediate that re-injects them
+// across the symmetric plane, and restores near-peak throughput.
+//
+// This example compares AR, DR and TPS on an asymmetric 2n x n x n torus.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"alltoall"
+)
+
+func main() {
+	n := flag.Int("n", 6, "base dimension: the torus is 2n x n x n (try -n 8 for the paper's 1024-node shape)")
+	msg := flag.Int("msg", 480, "per-pair payload bytes")
+	flag.Parse()
+
+	shape := alltoall.NewTorus(2*(*n), *n, *n)
+	fmt.Printf("asymmetric torus %v (%d nodes), %d-byte messages\n\n",
+		shape, shape.P(), *msg)
+
+	for _, strat := range []alltoall.Strategy{alltoall.AR, alltoall.DR, alltoall.TPS} {
+		res, err := alltoall.Run(strat, alltoall.Options{
+			Shape:    shape,
+			MsgBytes: *msg,
+			Seed:     1,
+		})
+		if err != nil {
+			log.Fatalf("%s: %v", strat, err)
+		}
+		note := ""
+		if strat == alltoall.TPS {
+			note = fmt.Sprintf("  (phase 1 along %v)", res.TPSLinearDim)
+		}
+		fmt.Printf("%-8s %6.1f%% of peak  %8.3f ms%s\n",
+			strat, res.PercentPeak, res.Seconds*1e3, note)
+	}
+	fmt.Println("\nExpected shape (paper, Table 2/3): AR degrades on the asymmetric")
+	fmt.Println("torus; TPS recovers to near the direct strategies' symmetric level.")
+}

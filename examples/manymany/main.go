@@ -1,0 +1,40 @@
+// Many-to-many patterns: the paper's analysis applied beyond all-to-all.
+// Runs a catalogue of classic communication patterns on one simulated
+// torus and reports achieved throughput and the contention each induces.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"alltoall"
+)
+
+func main() {
+	shape := alltoall.NewTorus(8, 8, 4)
+	fmt.Printf("many-to-many patterns on %v (%d nodes), 512-byte messages\n\n", shape, shape.P())
+	fmt.Printf("%-14s %10s %12s %10s %10s\n", "pattern", "messages", "time (us)", "max util", "mean util")
+
+	patterns := []alltoall.Pattern{
+		alltoall.DimShift{Dim: alltoall.X, Hops: 1},
+		alltoall.Shift{Offset: 37},
+		alltoall.RandomPermutation{Seed: 7},
+		alltoall.RandomSubset{K: 8, Seed: 7},
+		alltoall.HotSpot{Root: 0},
+	}
+	for _, p := range patterns {
+		res, err := alltoall.RunPattern(p, alltoall.PatternOptions{
+			Shape:    shape,
+			MsgBytes: 512,
+			Seed:     1,
+		})
+		if err != nil {
+			log.Fatalf("%s: %v", p.Name(), err)
+		}
+		fmt.Printf("%-14s %10d %12.1f %10.2f %10.2f\n",
+			res.Pattern, res.Messages, res.Seconds*1e6, res.MaxLinkUtil, res.MeanLinkUtil)
+	}
+	fmt.Println("\nNearest-neighbour shifts stream at link speed; random many-to-many")
+	fmt.Println("spreads load like the all-to-all; the hot spot serializes on the")
+	fmt.Println("root's reception links no matter how good the routing is.")
+}

@@ -1,0 +1,29 @@
+// Quickstart: run one all-to-all on a simulated Blue Gene/L midplane and
+// print how close it gets to the bisection-limited peak.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"alltoall"
+)
+
+func main() {
+	// An 8x8x8 torus is one Blue Gene/L midplane (512 nodes). Every node
+	// sends a distinct 1 KiB message to every other node.
+	res, err := alltoall.Run(alltoall.AR, alltoall.Options{
+		Shape:    alltoall.NewTorus(8, 8, 8),
+		MsgBytes: 1024,
+		Seed:     1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("all-to-all on %v: %d nodes x %d bytes to each of %d peers\n",
+		res.Shape, res.Shape.P(), res.MsgBytes, res.Shape.P()-1)
+	fmt.Printf("completed in %.2f ms (%.1f%% of the Equation 2 peak)\n",
+		res.Seconds*1e3, res.PercentPeak)
+	fmt.Printf("per-node throughput: %.0f MB/s (bisection limit %.0f MB/s)\n",
+		res.PerNodeMBs, res.PerNodeMBs*100/res.PercentPeak)
+}

@@ -1,0 +1,3 @@
+module alltoall
+
+go 1.22

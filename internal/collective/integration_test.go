@@ -1,0 +1,185 @@
+package collective
+
+import (
+	"testing"
+
+	"alltoall/internal/model"
+	"alltoall/internal/torus"
+)
+
+// These tests pin the paper's qualitative results at miniature scale. They
+// are behavioural regression tests for the whole stack (simulator +
+// strategies): if a routing or flow-control change breaks one of the
+// paper's phenomena, one of these fails.
+
+func runOK(t *testing.T, strat Strategy, shape torus.Shape, m int) Result {
+	t.Helper()
+	res, err := Run(strat, Options{Shape: shape, MsgBytes: m, Seed: 1})
+	if err != nil {
+		t.Fatalf("%s on %v: %v", strat, shape, err)
+	}
+	return res
+}
+
+// Symmetric tori reach a high fraction of the Equation 2 peak under the
+// direct adaptive strategy (paper Table 1: 97-99%; simulator: high 80s).
+func TestShapeSymmetricARNearPeak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	for _, sh := range []torus.Shape{
+		torus.New(8, 1, 1),
+		torus.New(8, 8, 1),
+	} {
+		res := runOK(t, StratAR, sh, 1920)
+		if res.PercentPeak < 80 {
+			t.Errorf("AR on symmetric %v = %.1f%% of peak, want >= 80%%", sh, res.PercentPeak)
+		}
+	}
+}
+
+// The asymmetric torus degrades the direct strategy relative to the
+// symmetric one (paper Table 2).
+func TestShapeAsymmetricDegradesAR(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	sym := runOK(t, StratAR, torus.New(8, 8, 1), 1920)
+	asym := runOK(t, StratAR, torus.New(16, 4, 1), 960)
+	if asym.PercentPeak >= sym.PercentPeak-3 {
+		t.Errorf("asymmetric AR %.1f%% should sit clearly below symmetric %.1f%%",
+			asym.PercentPeak, sym.PercentPeak)
+	}
+}
+
+// DR depends on the orientation of the long dimension: dimension-ordered
+// routing starts packets on X, so a 2n x n x n partition beats n x n x 2n
+// (paper Section 3.2: "16x8x8 is better than 8x8x16 under DR").
+func TestShapeDROrientationDependence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	xLong := runOK(t, StratDR, torus.New(16, 4, 4), 480)
+	zLong := runOK(t, StratDR, torus.New(4, 4, 16), 480)
+	if xLong.PercentPeak <= zLong.PercentPeak {
+		t.Errorf("DR with X longest (%.1f%%) should beat DR with Z longest (%.1f%%)",
+			xLong.PercentPeak, zLong.PercentPeak)
+	}
+}
+
+// The Two Phase Schedule beats the direct strategy on an elongated torus
+// (the paper's headline result, Tables 2 vs 3). The effect needs the run to
+// be long enough for AR's bottleneck-dimension jam to develop, so this is
+// the slowest test in the suite (~90s).
+func TestShapeTPSBeatsAROnAsymmetric(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	shape := torus.New(8, 8, 16)
+	tps := runOK(t, StratTPS, shape, 480)
+	ar := runOK(t, StratAR, shape, 480)
+	if tps.PercentPeak <= ar.PercentPeak {
+		t.Errorf("TPS %.1f%% should beat AR %.1f%% on %v",
+			tps.PercentPeak, ar.PercentPeak, shape)
+	}
+}
+
+// On a small symmetric partition the CPU cannot keep the forwarding and the
+// direct traffic going at once, so TPS loses to the direct strategy (paper:
+// 77% vs 99% on the 512-node midplane).
+func TestShapeTPSLosesOnSymmetric(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	shape := torus.New(8, 8, 1)
+	tps := runOK(t, StratTPS, shape, 960)
+	ar := runOK(t, StratAR, shape, 960)
+	if tps.PercentPeak >= ar.PercentPeak {
+		t.Errorf("TPS %.1f%% should lose to AR %.1f%% on the symmetric %v",
+			tps.PercentPeak, ar.PercentPeak, shape)
+	}
+}
+
+// Strict throttling lands near the burst-paced AR (paper Figure 4: within
+// a few percent).
+func TestShapeThrottleNearAR(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	shape := torus.New(8, 4, 1)
+	th := runOK(t, StratThrottle, shape, 960)
+	ar := runOK(t, StratAR, shape, 960)
+	diff := th.PercentPeak - ar.PercentPeak
+	if diff < -15 || diff > 15 {
+		t.Errorf("Throttle %.1f%% and AR %.1f%% should be within ~15 points",
+			th.PercentPeak, ar.PercentPeak)
+	}
+}
+
+// Unpaced injection collapses into the congestion-jam regime (the ablation
+// that motivates always-on pacing).
+func TestShapeUnpacedCollapses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	shape := torus.New(8, 8, 1)
+	paced := runOK(t, StratAR, shape, 1920)
+	unpaced, err := RunAR(Options{Shape: shape, MsgBytes: 1920, Seed: 1, Unpaced: true})
+	if err != nil {
+		t.Fatalf("unpaced: %v", err)
+	}
+	if unpaced.PercentPeak >= paced.PercentPeak {
+		t.Errorf("unpaced %.1f%% should fall below paced %.1f%%",
+			unpaced.PercentPeak, paced.PercentPeak)
+	}
+}
+
+// The 1-byte latency comparison (paper Table 4): TPS pays the forwarding
+// hop on a small partition, so it is slower than AR there.
+func TestShapeLatencySignSmallPartition(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	shape := torus.New(8, 8, 1)
+	tps := runOK(t, StratTPS, shape, 1)
+	ar := runOK(t, StratAR, shape, 1)
+	if tps.Time <= ar.Time {
+		t.Errorf("1-byte TPS (%d) should be slower than AR (%d) on a small partition",
+			tps.Time, ar.Time)
+	}
+}
+
+// The analytic model (Equation 3) must track the simulator within a broad
+// band across message sizes - the Figure 1 claim as a regression test.
+func TestShapeModelTracksMeasurement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	shape := torus.New(8, 8, 1)
+	calib := model.DefaultCalib()
+	for _, m := range []int{64, 512, 1920} {
+		res := runOK(t, StratAR, shape, m)
+		pred := model.DirectTime(calib, shape, m)
+		ratio := float64(res.Time) / pred
+		if ratio < 0.5 || ratio > 2.0 {
+			t.Errorf("m=%d: measured/predicted = %.2f, want within [0.5, 2.0]", m, ratio)
+		}
+	}
+}
+
+// Throughput must rise monotonically toward the peak as messages grow
+// (startup amortization), the shape of Figures 1 and 2.
+func TestShapeThroughputMonotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	shape := torus.New(8, 8, 1)
+	prev := -1.0
+	for _, m := range []int{8, 64, 512, 1920} {
+		res := runOK(t, StratAR, shape, m)
+		if res.PercentPeak <= prev {
+			t.Errorf("m=%d: %%peak %.1f did not improve on %.1f", m, res.PercentPeak, prev)
+		}
+		prev = res.PercentPeak
+	}
+}

@@ -1,0 +1,253 @@
+package collective
+
+import (
+	"fmt"
+	"os"
+
+	"alltoall/internal/model"
+	"alltoall/internal/network"
+	"alltoall/internal/torus"
+)
+
+// Strategy names the all-to-all algorithms from the paper.
+type Strategy string
+
+const (
+	StratAR       Strategy = "AR"       // direct, adaptive routing (Section 3)
+	StratDR       Strategy = "DR"       // direct, deterministic routing (Section 3.2)
+	StratThrottle Strategy = "Throttle" // AR paced to the bisection rate (Section 3.2)
+	StratMPI      Strategy = "MPI"      // production MPI-style baseline
+	StratTPS      Strategy = "TPS"      // Two Phase Schedule (Section 4.1)
+	StratVMesh    Strategy = "VMesh"    // 2D virtual-mesh combining (Section 4.2)
+	StratXYZ      Strategy = "XYZ"      // 3-phase dimension-ordered indirect (Section 4.1's comparator)
+)
+
+// Options configures an all-to-all run.
+type Options struct {
+	Shape    torus.Shape
+	MsgBytes int    // per-pair payload m, >= 1
+	Seed     uint64 // randomization seed for destination orders
+
+	// Burst is the number of packets injected per destination visit in the
+	// direct strategies (the paper's tuning parameter; usually 1 or 2).
+	Burst int
+
+	// PaceBurst is the injection token-bucket depth in packets (default 8).
+	// Every strategy paces injection at the partition's bisection rate; the
+	// Throttle strategy uses a zero-depth (strict) bucket. See pacer.go for
+	// why pacing is always on in this substrate.
+	PaceBurst int
+
+	// PaceFraction scales the injection rate relative to the bisection
+	// limit (default 0.95). Slightly under 1 keeps bottleneck links at the
+	// knee of their throughput curve.
+	PaceFraction float64
+
+	// Unpaced disables injection pacing entirely (ablation only; expect
+	// congestion collapse on saturating workloads).
+	Unpaced bool
+
+	Par   network.Params // zero value: network.DefaultParams()
+	Calib model.Calib    // zero value: model.DefaultCalib()
+
+	// TPSLinear forces the Two Phase Schedule's linear (phase 1) dimension;
+	// nil selects it with the paper's rule (symmetric planar dims if
+	// possible, else the longest dimension).
+	TPSLinear *torus.Dim
+
+	// TPSCreditWindow, when positive, enables the paper's Section 5
+	// credit-based flow control for TPS: each source may have at most this
+	// many un-credited phase-1 packets outstanding at each intermediate,
+	// bounding intermediate forwarding memory. Must be >= TPSCreditBatch.
+	TPSCreditWindow int
+
+	// TPSCreditBatch is the number of forwarded packets per returned
+	// credit packet (default 10, the paper's ~1% bandwidth overhead).
+	TPSCreditBatch int
+
+	// VMeshRows/Cols force the virtual mesh factorization P = Cols x Rows
+	// (Pvx = Cols row width, Pvy = Rows column height); 0 selects the most
+	// balanced factorization.
+	VMeshRows, VMeshCols int
+
+	// VMeshMapOrder chooses which torus dimension consecutive virtual ranks
+	// sweep first (default X, Y, Z: rows fill X-lines, then XY planes). The
+	// paper's 4096-node experiment maps 128-wide rows onto XZ planes, i.e.
+	// order X, Z, Y.
+	VMeshMapOrder *[3]torus.Dim
+
+	// MaxTime aborts runs that exceed this many time units (0 = generous
+	// default based on the peak time).
+	MaxTime int64
+
+	// DebugDump, when non-empty, names a file to which the full network
+	// state is written if a run stalls or exceeds MaxTime (diagnostics).
+	DebugDump string
+}
+
+func (o *Options) fill() error {
+	if err := o.Shape.Validate(); err != nil {
+		return err
+	}
+	if o.MsgBytes < 1 {
+		return fmt.Errorf("collective: MsgBytes must be >= 1, got %d", o.MsgBytes)
+	}
+	if o.Burst == 0 {
+		o.Burst = 2
+	}
+	if o.Burst < 0 {
+		return fmt.Errorf("collective: negative Burst")
+	}
+	if o.PaceBurst == 0 {
+		o.PaceBurst = 2
+	}
+	if o.PaceBurst < 0 {
+		return fmt.Errorf("collective: negative PaceBurst")
+	}
+	if o.PaceFraction == 0 {
+		o.PaceFraction = 0.95
+	}
+	if o.PaceFraction < 0 || o.PaceFraction > 1 {
+		return fmt.Errorf("collective: PaceFraction %v out of (0,1]", o.PaceFraction)
+	}
+	if o.Par == (network.Params{}) {
+		o.Par = network.DefaultParams()
+	}
+	if o.Calib == (model.Calib{}) {
+		o.Calib = model.DefaultCalib()
+	}
+	if o.MaxTime == 0 {
+		peak := o.Shape.PeakTime(o.MsgBytes)
+		o.MaxTime = int64(peak*100) + int64(o.Shape.P())*(o.Calib.AlphaMsg+o.Calib.AlphaMPI)*64 + 1<<24
+	}
+	return nil
+}
+
+// dumpOnError writes the network state to o.DebugDump when a run failed.
+func (o *Options) dumpOnError(nw *network.Network, err error) {
+	if err == nil || o.DebugDump == "" {
+		return
+	}
+	f, ferr := os.Create(o.DebugDump)
+	if ferr != nil {
+		return
+	}
+	defer f.Close()
+	nw.DumpState(f)
+}
+
+// pacer builds the injection governor for this run; strict drops the burst
+// window (the Throttle strategy).
+func (o *Options) pacer(strict bool) pacer {
+	if o.Unpaced {
+		return pacer{}
+	}
+	burst := o.PaceBurst
+	if strict {
+		burst = 0
+	}
+	return newPacer(o.Shape, burst, o.PaceFraction)
+}
+
+// Result reports one all-to-all run.
+type Result struct {
+	Strategy Strategy
+	Shape    torus.Shape
+	MsgBytes int
+
+	Time        int64   // completion time, units
+	Seconds     float64 // completion time, seconds (calibrated)
+	PeakTime    float64 // Equation 2 peak time, units
+	PercentPeak float64 // 100 * PeakTime / Time
+
+	PerNodeMBs float64 // achieved per-node payload throughput, MB/s
+
+	PacketsInjected int64
+	WireBytes       int64
+	PayloadBytes    int64 // total application payload delivered
+
+	MeanLatencyUnits float64 // mean final-packet injection-to-delivery latency
+	MaxLinkUtil      float64
+	MeanLinkUtil     float64
+	MeanCPUUtil      float64
+	MaxCPUUtil       float64
+	LastInjectUnits  int64 // time of the last injection; Time minus this is the drain tail
+
+	// TPSLinearDim is the phase-1 dimension chosen by the Two Phase
+	// Schedule (valid when Strategy == StratTPS).
+	TPSLinearDim torus.Dim
+	// CreditPackets counts flow-control credit packets sent (TPS with
+	// TPSCreditWindow only).
+	CreditPackets int64
+	// MaxIntermediateBacklog is the largest forwarding backlog (packets
+	// awaiting CPU re-injection) at any intermediate node.
+	MaxIntermediateBacklog int
+	// VMesh factorization used (valid when Strategy == StratVMesh).
+	VMeshRows, VMeshCols int
+	// PhaseTimes records per-phase completion for multi-phase strategies.
+	PhaseTimes []int64
+}
+
+func (o *Options) newResult(strat Strategy) Result {
+	return Result{
+		Strategy: strat,
+		Shape:    o.Shape,
+		MsgBytes: o.MsgBytes,
+		PeakTime: o.Shape.PeakTime(o.MsgBytes),
+	}
+}
+
+func (o *Options) finishResult(r *Result, t int64, st *network.Stats) {
+	r.Time = t
+	r.Seconds = o.Calib.Seconds(float64(t))
+	if t > 0 {
+		r.PercentPeak = r.PeakTime / float64(t) * 100
+	}
+	r.PerNodeMBs = model.PerNodeBandwidth(o.Calib, o.Shape, o.MsgBytes, float64(t))
+	if st != nil {
+		r.PacketsInjected += st.PacketsInjected
+		r.WireBytes += st.WireBytesInjected
+		r.PayloadBytes += st.FinalPayload
+		r.MeanLatencyUnits = st.MeanLatency()
+		r.LastInjectUnits = st.LastInject
+		r.MaxLinkUtil = st.MaxLinkUtilization(t)
+		r.MeanLinkUtil = st.MeanLinkUtilization(t, o.Shape.LinkCount())
+		if t > 0 {
+			var sum, max int64
+			for _, c := range st.CPUBusy {
+				sum += c
+				if c > max {
+					max = c
+				}
+			}
+			r.MeanCPUUtil = float64(sum) / float64(t) / float64(len(st.CPUBusy))
+			r.MaxCPUUtil = float64(max) / float64(t)
+		}
+	}
+}
+
+// Run dispatches to the strategy implementation.
+func Run(strat Strategy, opts Options) (Result, error) {
+	switch strat {
+	case StratAR:
+		return RunAR(opts)
+	case StratDR:
+		return RunDR(opts)
+	case StratThrottle:
+		return RunThrottled(opts)
+	case StratMPI:
+		return RunMPI(opts)
+	case StratTPS:
+		return RunTPS(opts)
+	case StratVMesh:
+		return RunVMesh(opts)
+	case StratXYZ:
+		return RunXYZ(opts)
+	}
+	return Result{}, fmt.Errorf("collective: unknown strategy %q", strat)
+}
+
+// Strategies lists all implemented strategies.
+func Strategies() []Strategy {
+	return []Strategy{StratAR, StratDR, StratThrottle, StratMPI, StratTPS, StratVMesh, StratXYZ}
+}

@@ -1,0 +1,71 @@
+package collective
+
+import (
+	"testing"
+
+	"alltoall/internal/torus"
+)
+
+func TestPacerRate(t *testing.T) {
+	// 8x8x8: peak per byte = 512, per node rate = 1 unit/byte.
+	p := newPacer(torus.New(8, 8, 8), 0, 1)
+	if p.rateMilli != 1000 {
+		t.Errorf("rateMilli = %d, want 1000", p.rateMilli)
+	}
+	// Strict pacing: second packet must wait one packet-time.
+	if _, ok := p.gate(0); !ok {
+		t.Fatal("first injection gated")
+	}
+	p.charge(0, 256)
+	retry, ok := p.gate(0)
+	if ok {
+		t.Fatal("second injection not gated under strict pacing")
+	}
+	if retry != 256 {
+		t.Errorf("retry = %d, want 256", retry)
+	}
+	if _, ok := p.gate(256); !ok {
+		t.Error("injection still gated at its release time")
+	}
+}
+
+func TestPacerBurst(t *testing.T) {
+	p := newPacer(torus.New(8, 8, 8), 2, 1) // burst of 2 full packets = 512 units
+	for i := 0; i < 3; i++ {
+		if _, ok := p.gate(0); !ok {
+			t.Fatalf("packet %d gated within burst window", i)
+		}
+		p.charge(0, 256)
+	}
+	if _, ok := p.gate(0); ok {
+		t.Error("burst window not exhausted after 3 packets")
+	}
+}
+
+func TestPacerUnpaced(t *testing.T) {
+	var p pacer
+	for i := 0; i < 100; i++ {
+		if _, ok := p.gate(int64(i)); !ok {
+			t.Fatal("zero pacer gated")
+		}
+		p.charge(int64(i), 256)
+	}
+}
+
+func TestPacerIdleCreditDoesNotAccumulate(t *testing.T) {
+	p := newPacer(torus.New(8, 8, 8), 1, 1)
+	// Long idle, then a burst: only burst-window credit is available.
+	p.charge(10000, 256)
+	p.charge(10000, 256)
+	if _, ok := p.gate(10000); ok {
+		t.Error("idle time accumulated more than the burst window")
+	}
+}
+
+func TestPacerSlowerOnLongerDimension(t *testing.T) {
+	a := newPacer(torus.New(8, 8, 8), 0, 1)
+	b := newPacer(torus.New(8, 8, 16), 0, 1)
+	if b.rateMilli <= a.rateMilli {
+		t.Errorf("16-long torus rate %d should exceed (be slower than) %d", b.rateMilli, a.rateMilli)
+	}
+}

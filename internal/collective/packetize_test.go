@@ -1,0 +1,113 @@
+package collective
+
+import (
+	"testing"
+	"testing/quick"
+
+	"alltoall/internal/network"
+)
+
+func TestNewMsgBasics(t *testing.T) {
+	cases := []struct {
+		m, header int
+		wire      int64
+		npkts     int
+	}{
+		{1, 48, 64, 1},    // 49 -> 64 (granule + min)
+		{8, 48, 64, 1},    // 56 -> 64
+		{16, 48, 64, 1},   // exactly 64
+		{32, 48, 96, 1},   // 80 -> 96
+		{208, 48, 256, 1}, // exactly one full packet
+		{209, 48, 320, 2}, // 257 -> 288 -> pad last (32) to 64 => 320
+		{240, 48, 320, 2}, // 288: 256 + 32 -> pad to 64 => 320
+		{4096, 48, 4160, 17},
+		{8, 8, 64, 1}, // vmesh-style small header
+	}
+	for _, c := range cases {
+		g := NewMsg(c.m, c.header)
+		if g.Wire != c.wire || g.NPkts != c.npkts {
+			t.Errorf("NewMsg(%d,%d) = wire %d npkts %d, want %d/%d",
+				c.m, c.header, g.Wire, g.NPkts, c.wire, c.npkts)
+		}
+	}
+}
+
+func TestMsgPacketSizesSumToWire(t *testing.T) {
+	f := func(mRaw uint16) bool {
+		m := int(mRaw%9000) + 1
+		g := NewMsg(m, 48)
+		var sum int64
+		for j := 0; j < g.NPkts; j++ {
+			s := g.PktSize(j)
+			if s < network.MinPacketBytes || s > network.MaxPacketBytes || s%network.PacketGranule != 0 {
+				return false
+			}
+			sum += int64(s)
+		}
+		return sum == g.Wire && g.Wire >= int64(m+48)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMsgPayloadSumsToM(t *testing.T) {
+	f := func(mRaw uint16, hRaw uint8) bool {
+		m := int(mRaw%9000) + 1
+		h := int(hRaw % 64)
+		g := NewMsg(m, h)
+		var sum int64
+		for j := 0; j < g.NPkts; j++ {
+			p := g.PktPayload(j)
+			if p < 0 || p > g.PktSize(j) {
+				return false
+			}
+			sum += int64(p)
+		}
+		return sum == int64(m)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMsgFirstPacketHeaderReducesPayload(t *testing.T) {
+	g := NewMsg(4096, 48)
+	if g.PktPayload(0) != 256-48 {
+		t.Errorf("first packet payload = %d, want 208", g.PktPayload(0))
+	}
+	if g.PktPayload(1) != 256 {
+		t.Errorf("second packet payload = %d, want 256", g.PktPayload(1))
+	}
+	// 208 + 15*256 = 4048; last payload = 48 within a 64-byte packet.
+	if g.PktPayload(16) != 48 {
+		t.Errorf("last packet payload = %d, want 48", g.PktPayload(16))
+	}
+}
+
+func TestMsgWireOverheadSmallForLarge(t *testing.T) {
+	g := NewMsg(65536, 48)
+	overhead := float64(g.Wire-int64(g.Payload)) / float64(g.Payload)
+	if overhead > 0.01 {
+		t.Errorf("wire overhead for 64K message = %.3f, want < 1%%", overhead)
+	}
+}
+
+func TestPktIndexPanics(t *testing.T) {
+	g := NewMsg(100, 48)
+	for _, f := range []func(){
+		func() { g.PktSize(-1) },
+		func() { g.PktSize(g.NPkts) },
+		func() { g.PktPayload(-1) },
+		func() { g.PktPayload(g.NPkts) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-range packet index did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,227 @@
+package collective
+
+import (
+	"fmt"
+
+	"alltoall/internal/network"
+	"alltoall/internal/torus"
+)
+
+// The 2D virtual-mesh message-combining strategy (Section 4.2).
+//
+// A virtual Pvx x Pvy mesh is mapped onto the physical partition. In phase
+// 1 every node combines, for each virtual-mesh column j, the blocks destined
+// to all Pvy nodes of that column into one message of Pvy*(m+proto) bytes
+// and sends it to its row neighbour in column j. After a barrier, phase 2
+// sorts the received blocks by destination and sends each column neighbour
+// one message of Pvx*(m+proto) bytes. Every byte crosses the network twice,
+// but per-destination software headers are amortized over combined
+// messages, which wins for very short messages.
+
+// BalancedFactor returns the factorization p = a*b with a >= b minimizing
+// a-b (the paper: "keep the number of rows and columns about the same").
+func BalancedFactor(p int) (a, b int) {
+	best := 1
+	for d := 1; d*d <= p; d++ {
+		if p%d == 0 {
+			best = d
+		}
+	}
+	return p / best, best
+}
+
+// vmeshMap maps virtual-mesh ranks onto physical ranks by enumerating the
+// torus dimensions in a configurable order (order[0] fastest). The identity
+// order {X,Y,Z} makes consecutive virtual ranks sweep X-lines first, so a
+// 32-wide row on an 8x8x8 torus is half an XY plane, matching the paper's
+// 512-node experiment.
+type vmeshMap struct {
+	physOf []int32 // physical rank by virtual rank
+	virtOf []int32 // virtual rank by physical rank
+}
+
+func newVMeshMap(s torus.Shape, order [3]torus.Dim) vmeshMap {
+	p := s.P()
+	m := vmeshMap{physOf: make([]int32, p), virtOf: make([]int32, p)}
+	for phys := 0; phys < p; phys++ {
+		c := s.Coords(phys)
+		vr := c[order[0]] + s.Size[order[0]]*(c[order[1]]+s.Size[order[1]]*c[order[2]])
+		m.physOf[vr] = int32(phys)
+		m.virtOf[phys] = int32(vr)
+	}
+	return m
+}
+
+// vmeshSource sends a fixed list of combined messages, packet by packet.
+type vmeshSource struct {
+	dests []int32 // physical destination ranks
+	msg   Msg
+	alpha int64 // per-message startup
+	gamma int64 // gather/sort copy cost, charged with each message's first packet
+	kind  uint8
+	pace  pacer
+
+	di, pj int
+}
+
+func (s *vmeshSource) Next(now int64) (network.PacketSpec, network.SrcStatus, int64) {
+	if s.di >= len(s.dests) {
+		return network.PacketSpec{}, network.SrcDone, 0
+	}
+	if retry, ok := s.pace.gate(now); !ok {
+		return network.PacketSpec{}, network.SrcWait, retry
+	}
+	spec := network.PacketSpec{
+		Dst:     s.dests[s.di],
+		Size:    s.msg.PktSize(s.pj),
+		Payload: s.msg.PktPayload(s.pj),
+		Kind:    s.kind,
+		Class:   int8(s.dests[s.di] % 60),
+	}
+	if s.pj == 0 {
+		spec.ExtraCPU = s.alpha + s.gamma
+	}
+	s.pj++
+	if s.pj == s.msg.NPkts {
+		s.pj = 0
+		s.di++
+	}
+	s.pace.charge(now, spec.Size)
+	return spec, network.SrcReady, 0
+}
+
+// RunVMesh runs the 2D virtual-mesh combining strategy. The two phases are
+// separated by a barrier (they do not overlap, matching Equation 4).
+func RunVMesh(opts Options) (Result, error) {
+	if err := opts.fill(); err != nil {
+		return Result{}, err
+	}
+	shape := opts.Shape
+	p := shape.P()
+	pvx, pvy := opts.VMeshCols, opts.VMeshRows
+	if pvx == 0 || pvy == 0 {
+		pvx, pvy = BalancedFactor(p)
+	}
+	if pvx*pvy != p {
+		return Result{}, fmt.Errorf("collective: vmesh %dx%d does not cover %d nodes", pvx, pvy, p)
+	}
+	order := [3]torus.Dim{torus.X, torus.Y, torus.Z}
+	if opts.VMeshMapOrder != nil {
+		order = *opts.VMeshMapOrder
+		if order[0] == order[1] || order[1] == order[2] || order[0] == order[2] ||
+			order[0] < 0 || order[0] >= torus.NumDims ||
+			order[1] < 0 || order[1] >= torus.NumDims ||
+			order[2] < 0 || order[2] >= torus.NumDims {
+			return Result{}, fmt.Errorf("collective: VMeshMapOrder %v is not a permutation of X,Y,Z", order)
+		}
+	}
+	vm := newVMeshMap(shape, order)
+	calib := opts.Calib
+	gammaOf := func(bytes int64) int64 { return bytes * calib.GammaMilliPerByte / 1000 }
+
+	perm := torus.NewPerm(pvx, opts.Seed^0x5EED1) // shared row-visit shuffle
+
+	// Phase 1: row exchange. Virtual node (r, c) sends to (r, j) for j != c
+	// a message combining the blocks for column j.
+	msg1 := NewMsg(pvy*(opts.MsgBytes+calib.ProtoBytes), calib.HeaderBytes)
+	src1 := make([]network.Source, p)
+	for phys := 0; phys < p; phys++ {
+		vr := int(vm.virtOf[phys])
+		r, c := vr/pvx, vr%pvx
+		dests := make([]int32, 0, pvx-1)
+		for i := 0; i < pvx; i++ {
+			j := perm.At((i + c) % pvx)
+			if j == c {
+				continue
+			}
+			dests = append(dests, vm.physOf[r*pvx+j])
+		}
+		src1[phys] = &vmeshSource{
+			dests: dests, msg: msg1, alpha: calib.AlphaMsg, pace: opts.pacer(false),
+			gamma: gammaOf(msg1.Wire), kind: kindVMesh1,
+		}
+	}
+	h1 := &directHandler{recvPayload: make([]int64, p)}
+	nw1, err := network.New(shape, opts.Par, src1, h1)
+	if err != nil {
+		return Result{}, err
+	}
+	t1, err := nw1.Run(opts.MaxTime)
+	if err != nil {
+		opts.dumpOnError(nw1, err)
+		return Result{}, fmt.Errorf("VMesh phase 1 on %v: %w", shape, err)
+	}
+	want1 := int64(pvx-1) * int64(msg1.Payload)
+	for n := 0; n < p; n++ {
+		if h1.recvPayload[n] != want1 {
+			return Result{}, fmt.Errorf("VMesh phase 1 on %v: node %d received %d, want %d",
+				shape, n, h1.recvPayload[n], want1)
+		}
+	}
+
+	// Phase 2: column exchange. Virtual node (r, c) sends to (r', c) for
+	// r' != r a message with the blocks (from all Pvx row members) for that
+	// destination.
+	msg2 := NewMsg(pvx*(opts.MsgBytes+calib.ProtoBytes), calib.HeaderBytes)
+	permCol := torus.NewPerm(pvy, opts.Seed^0x5EED2)
+	src2 := make([]network.Source, p)
+	for phys := 0; phys < p; phys++ {
+		vr := int(vm.virtOf[phys])
+		r, c := vr/pvx, vr%pvx
+		dests := make([]int32, 0, pvy-1)
+		for i := 0; i < pvy; i++ {
+			rp := permCol.At((i + r) % pvy)
+			if rp == r {
+				continue
+			}
+			dests = append(dests, vm.physOf[rp*pvx+c])
+		}
+		src2[phys] = &vmeshSource{
+			dests: dests, msg: msg2, alpha: calib.AlphaMsg, pace: opts.pacer(false),
+			gamma: gammaOf(msg2.Wire), kind: kindVMesh2,
+		}
+	}
+	h2 := &directHandler{recvPayload: make([]int64, p)}
+	nw2, err := network.New(shape, opts.Par, src2, h2)
+	if err != nil {
+		return Result{}, err
+	}
+	t2, err := nw2.Run(opts.MaxTime)
+	if err != nil {
+		opts.dumpOnError(nw2, err)
+		return Result{}, fmt.Errorf("VMesh phase 2 on %v: %w", shape, err)
+	}
+	want2 := int64(pvy-1) * int64(msg2.Payload)
+	for n := 0; n < p; n++ {
+		if h2.recvPayload[n] != want2 {
+			return Result{}, fmt.Errorf("VMesh phase 2 on %v: node %d received %d, want %d",
+				shape, n, h2.recvPayload[n], want2)
+		}
+	}
+
+	st1, st2 := nw1.Stats(), nw2.Stats()
+	r := opts.newResult(StratVMesh)
+	r.VMeshCols, r.VMeshRows = pvx, pvy
+	r.PhaseTimes = []int64{t1, t2}
+	opts.finishResult(&r, t1+t2, nil)
+	r.PacketsInjected = st1.PacketsInjected + st2.PacketsInjected
+	r.WireBytes = st1.WireBytesInjected + st2.WireBytesInjected
+	// Every pair's m application bytes are delivered (directly in phase 1
+	// for row mates, via phase 2 otherwise).
+	r.PayloadBytes = int64(p) * int64(p-1) * int64(opts.MsgBytes)
+	r.MeanLatencyUnits = st2.MeanLatency()
+	if t1+t2 > 0 {
+		r.MaxLinkUtil = float64(maxI64(st1.LinkBusy)+maxI64(st2.LinkBusy)) / float64(t1+t2)
+	}
+	return r, nil
+}
+
+func maxI64(xs []int64) int64 {
+	var m int64
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

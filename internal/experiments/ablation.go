@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"alltoall/internal/collective"
+	"alltoall/internal/network"
+	"alltoall/internal/report"
+	"alltoall/internal/torus"
+)
+
+// Ablate quantifies the simulator's modeling decisions (DESIGN.md section
+// "Modeling decisions forced by packet-atomic simulation") on one symmetric
+// and one asymmetric partition. Each row disables one mechanism.
+func Ablate(cfg Config) (*report.Table, error) {
+	type variant struct {
+		name string
+		mut  func(*collective.Options)
+	}
+	variants := []variant{
+		{"baseline", func(*collective.Options) {}},
+		{"store-and-forward", func(o *collective.Options) {
+			p := network.DefaultParams()
+			p.StoreForward = true
+			o.Par = p
+		}},
+		{"no VC lookahead", func(o *collective.Options) {
+			p := network.DefaultParams()
+			p.VCLookahead = 1
+			o.Par = p
+		}},
+		{"no transit priority", func(o *collective.Options) {
+			p := network.DefaultParams()
+			p.InjectTokens = 0
+			o.Par = p
+		}},
+		{"eager escape", func(o *collective.Options) {
+			p := network.DefaultParams()
+			p.EscapeDelay = 0
+			o.Par = p
+		}},
+		{"unpaced injection", func(o *collective.Options) { o.Unpaced = true }},
+		{"strict pacing", func(o *collective.Options) { o.PaceBurst = 1 }},
+	}
+	sym, _ := cfg.scale(torus.New(8, 8, 8))
+	asym, _ := cfg.scale(torus.New(8, 8, 16))
+	t := report.NewTable("Ablation: AR percent of peak with one mechanism disabled per row",
+		"Variant", sym.String()+" %", asym.String()+" %")
+	for _, v := range variants {
+		row := []any{v.name}
+		for _, shape := range []torus.Shape{sym, asym} {
+			opts := cfg.opts(shape, cfg.largeFor(shape))
+			v.mut(&opts)
+			// A variant that cannot reach 12.5% of peak has collapsed;
+			// cutting it off keeps the jam-regime rows from running for
+			// hours.
+			opts.MaxTime = int64(shape.PeakTime(opts.MsgBytes) * 8)
+			res, err := collective.RunAR(opts)
+			if err != nil {
+				row = append(row, "<12.5 (collapsed)")
+				continue
+			}
+			row = append(row, res.PercentPeak)
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("collapsed rows exceeded 8x the Equation 2 peak time and were cut off")
+	return t, nil
+}

@@ -1,0 +1,450 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation: workload setup, parameter sweeps, baselines, and rendering of
+// the same rows/series the paper reports, with the paper's published
+// numbers alongside for comparison.
+//
+// The default configuration scales partitions above MaxNodes down by
+// halving every dimension (preserving the aspect ratio that drives the
+// paper's phenomena); Full disables scaling and simulates the true machine
+// sizes, which takes hours for the largest rows.
+package experiments
+
+import (
+	"fmt"
+
+	"alltoall/internal/collective"
+	"alltoall/internal/model"
+	"alltoall/internal/report"
+	"alltoall/internal/sweep"
+	"alltoall/internal/torus"
+)
+
+// Config controls experiment scale and reproducibility.
+type Config struct {
+	// Full disables partition scaling and runs the paper's true machine
+	// sizes.
+	Full bool
+	// MaxNodes bounds simulated partition size when !Full (default 1024).
+	MaxNodes int
+	// Seed randomizes destination orders.
+	Seed uint64
+	// LargeBytes overrides the per-pair payload used for "large message"
+	// rows (default: chosen per partition size to bound runtime).
+	LargeBytes int
+}
+
+func (c Config) maxNodes() int {
+	if c.Full {
+		return 1 << 30
+	}
+	if c.MaxNodes == 0 {
+		return 1024
+	}
+	return c.MaxNodes
+}
+
+// largeFor picks the "large message" payload for a partition: large enough
+// to reach the asymptotic regime, small enough to keep the event count (and
+// wall-clock) bounded.
+func (c Config) largeFor(s torus.Shape) int {
+	if c.LargeBytes > 0 {
+		return c.LargeBytes
+	}
+	switch p := s.P(); {
+	case p <= 256:
+		return 1920
+	case p <= 512:
+		return 960
+	case p <= 1024:
+		return 480
+	default:
+		return 240
+	}
+}
+
+// scale halves every even dimension of s until it fits maxNodes, keeping
+// the wrap flags. It reports whether scaling occurred.
+func (c Config) scale(s torus.Shape) (torus.Shape, bool) {
+	maxN := c.maxNodes()
+	scaled := false
+	for s.P() > maxN {
+		t := s
+		for d := 0; d < torus.NumDims; d++ {
+			if t.Size[d] >= 4 && t.Size[d]%2 == 0 {
+				t.Size[d] /= 2
+				if t.Size[d] <= 2 {
+					t.Wrap[d] = false
+				}
+			}
+		}
+		if t == s {
+			break // cannot shrink further
+		}
+		s = t
+		scaled = true
+	}
+	return s, scaled
+}
+
+// Runner regenerates one experiment.
+type Runner func(Config) (*report.Table, error)
+
+// Catalog maps experiment ids (table1..table4, fig1..fig7) to runners, with
+// Order giving presentation order.
+var (
+	Catalog = map[string]Runner{
+		"table1": Table1,
+		"table2": Table2,
+		"table3": Table3,
+		"table4": Table4,
+		"fig1":   Fig1,
+		"fig2":   Fig2,
+		"fig3":   Fig3,
+		"fig4":   Fig4,
+		"fig5":   Fig5,
+		"fig6":   Fig6,
+		"fig7":   Fig7,
+		"ablate": Ablate,
+	}
+	Order = []string{
+		"table1", "table2", "table3", "table4",
+		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+		"ablate",
+	}
+)
+
+// Names returns the catalog keys in presentation order.
+func Names() []string {
+	return append([]string(nil), Order...)
+}
+
+func (c Config) opts(s torus.Shape, m int) collective.Options {
+	return collective.Options{Shape: s, MsgBytes: m, Seed: c.Seed}
+}
+
+func shapeLabel(paper torus.Shape, run torus.Shape, scaled bool) string {
+	if !scaled {
+		return paper.String()
+	}
+	return fmt.Sprintf("%v (run %v)", paper, run)
+}
+
+// runRow simulates one strategy on a (possibly scaled) partition at the
+// config's large-message size.
+func (c Config) runRow(strat collective.Strategy, paper torus.Shape) (collective.Result, string, error) {
+	run, scaled := c.scale(paper)
+	res, err := collective.Run(strat, c.opts(run, c.largeFor(run)))
+	return res, shapeLabel(paper, run, scaled), err
+}
+
+// Table1 reproduces "All-to-all peak performance of various symmetric
+// partitions for large messages" (AR strategy).
+func Table1(cfg Config) (*report.Table, error) {
+	rows := []struct {
+		shape torus.Shape
+		paper float64
+	}{
+		{torus.New(8, 1, 1), 98.2},
+		{torus.New(16, 1, 1), 97.7},
+		{torus.New(8, 8, 1), 98.7},
+		{torus.New(16, 16, 1), 99.7},
+		{torus.New(8, 8, 8), 99.0},
+		{torus.New(16, 16, 16), 99.0},
+	}
+	t := report.NewTable("Table 1: AR percent of peak on symmetric partitions (large messages)",
+		"Partition", "Paper %", "Measured %", "MsgBytes")
+	for _, r := range rows {
+		res, label, err := cfg.runRow(collective.StratAR, r.shape)
+		if err != nil {
+			return t, err
+		}
+		t.AddRow(label, r.paper, res.PercentPeak, res.MsgBytes)
+	}
+	t.AddNote("measured on the packet-level simulator; expect a uniform few-percent tax versus hardware")
+	return t, nil
+}
+
+// table2Rows are the asymmetric partitions of Table 2 ("M" = mesh
+// dimension) with the paper's AR percent of peak.
+func table2Rows() []struct {
+	shape torus.Shape
+	paper float64
+} {
+	return []struct {
+		shape torus.Shape
+		paper float64
+	}{
+		{torus.NewMesh(8, 2, 1, true, false, false), 91.8},
+		{torus.NewMesh(8, 4, 1, true, false, false), 89.0},
+		{torus.New(8, 16, 1), 85.7},
+		{torus.New(8, 32, 1), 84.0},
+		{torus.NewMesh(8, 8, 2, true, true, false), 90.1},
+		{torus.NewMesh(8, 8, 4, true, true, false), 87.7},
+		{torus.New(8, 8, 16), 81.0},
+		{torus.New(8, 16, 16), 87.0},
+		{torus.New(8, 32, 16), 73.3},
+		{torus.New(16, 32, 16), 71.0},
+		{torus.New(32, 32, 16), 73.6},
+	}
+}
+
+// Table2 reproduces "AA performance using the AR strategy for large message
+// sizes on various processor partitions".
+func Table2(cfg Config) (*report.Table, error) {
+	t := report.NewTable("Table 2: AR percent of peak on asymmetric partitions (large messages)",
+		"Partition", "Paper %", "Measured %", "MsgBytes")
+	for _, r := range table2Rows() {
+		res, label, err := cfg.runRow(collective.StratAR, r.shape)
+		if err != nil {
+			return t, err
+		}
+		t.AddRow(label, r.paper, res.PercentPeak, res.MsgBytes)
+	}
+	return t, nil
+}
+
+// Table3 reproduces "All-to-all performance using the Two Phase Schedule
+// (TPS) algorithm for long messages", including the phase-1 dimension.
+func Table3(cfg Config) (*report.Table, error) {
+	rows := []struct {
+		shape torus.Shape
+		paper float64
+		dim   string
+	}{
+		{torus.New(8, 8, 8), 77.2, "Z"},
+		{torus.New(16, 8, 8), 99.0, "X"},
+		{torus.New(8, 16, 8), 98.9, "Y"},
+		{torus.New(8, 8, 16), 97.9, "Z"},
+		{torus.New(16, 16, 8), 97.5, "Z"},
+		{torus.New(16, 8, 16), 97.4, "Y"},
+		{torus.New(8, 16, 16), 97.2, "X"},
+		{torus.New(8, 32, 16), 99.5, "Y"},
+		{torus.New(16, 16, 16), 96.1, "X"},
+		{torus.New(16, 32, 16), 99.8, "Y"},
+		{torus.New(32, 16, 16), 99.8, "X"},
+		{torus.New(32, 32, 16), 96.8, "Z"},
+		{torus.New(40, 32, 16), 99.5, "X"},
+	}
+	t := report.NewTable("Table 3: Two Phase Schedule percent of peak (long messages)",
+		"Partition", "Paper %", "Measured %", "Paper dim", "Chosen dim")
+	for _, r := range rows {
+		res, label, err := cfg.runRow(collective.StratTPS, r.shape)
+		if err != nil {
+			return t, err
+		}
+		t.AddRow(label, r.paper, res.PercentPeak, r.dim, res.TPSLinearDim.String())
+	}
+	t.AddNote("on fully symmetric shapes any linear dimension is equivalent; the paper picked Z for 8x8x8, this implementation picks X")
+	return t, nil
+}
+
+// Table4 reproduces the 1-byte all-to-all latency comparison between TPS
+// and AR. Latencies are reported in calibrated milliseconds; scaled
+// partitions are proportionally faster, so the comparison column is the
+// TPS/AR ratio.
+func Table4(cfg Config) (*report.Table, error) {
+	rows := []struct {
+		shape             torus.Shape
+		paperTPS, paperAR float64
+	}{
+		{torus.New(8, 8, 8), 0.81, 0.52},
+		{torus.New(8, 8, 16), 1.64, 1.25},
+		{torus.New(16, 16, 16), 7.5, 4.7},
+		{torus.New(8, 32, 16), 8.1, 12.4},
+		{torus.New(32, 32, 16), 35.9, 65.2},
+	}
+	t := report.NewTable("Table 4: 1-byte all-to-all latency, TPS vs AR (ms)",
+		"Partition", "Paper TPS", "Paper AR", "Meas TPS", "Meas AR", "Paper ratio", "Meas ratio")
+	for _, r := range rows {
+		run, scaled := cfg.scale(r.shape)
+		tps, err := collective.RunTPS(cfg.opts(run, 1))
+		if err != nil {
+			return t, err
+		}
+		ar, err := collective.RunAR(cfg.opts(run, 1))
+		if err != nil {
+			return t, err
+		}
+		t.AddRow(shapeLabel(r.shape, run, scaled),
+			r.paperTPS, r.paperAR,
+			fmt.Sprintf("%.3f", tps.Seconds*1e3), fmt.Sprintf("%.3f", ar.Seconds*1e3),
+			fmt.Sprintf("%.2f", r.paperTPS/r.paperAR),
+			fmt.Sprintf("%.2f", tps.Seconds/ar.Seconds))
+	}
+	t.AddNote("the sign flip matters: TPS is slower than AR on small partitions and faster on large asymmetric ones")
+	return t, nil
+}
+
+// figSweep renders a message-size sweep of per-node throughput (MB/s) for
+// one or more strategies, with optional model columns.
+func figSweep(cfg Config, title string, paper torus.Shape, strats []collective.Strategy,
+	sizes []int, withModel bool, vmeshCols, vmeshRows int, vmeshOrder *[3]torus.Dim) (*report.Table, error) {
+	run, scaled := cfg.scale(paper)
+	calib := model.DefaultCalib()
+	cols := []string{"MsgBytes"}
+	for _, s := range strats {
+		cols = append(cols, string(s)+" MB/s", string(s)+" %peak")
+	}
+	if withModel {
+		cols = append(cols, "Eq3 MB/s", "Peak MB/s")
+	}
+	t := report.NewTable(title, cols...)
+	if scaled {
+		t.AddNote("partition scaled from %v to %v (node budget); aspect ratio preserved", paper, run)
+	}
+	series := make([][]sweep.Point, len(strats))
+	for i, s := range strats {
+		opts := cfg.opts(run, 1)
+		if s == collective.StratVMesh && vmeshCols > 0 {
+			vc, vr := vmeshCols, vmeshRows
+			if scaled {
+				vc, vr = collective.BalancedFactor(run.P())
+			}
+			opts.VMeshCols, opts.VMeshRows = vc, vr
+			opts.VMeshMapOrder = vmeshOrder
+		}
+		pts, err := sweep.Messages(s, opts, sizes)
+		if err != nil {
+			return t, err
+		}
+		series[i] = pts
+	}
+	for j, m := range sizes {
+		row := []any{m}
+		for i := range strats {
+			r := series[i][j].Result
+			row = append(row, r.PerNodeMBs, r.PercentPeak)
+		}
+		if withModel {
+			eq3 := model.DirectTime(calib, run, m)
+			row = append(row,
+				model.PerNodeBandwidth(calib, run, m, eq3),
+				model.PeakPerNodeBandwidth(calib, run))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Fig1 reproduces the AR throughput-vs-message-size curve with the model
+// prediction on the 512-node midplane.
+func Fig1(cfg Config) (*report.Table, error) {
+	return figSweep(cfg, "Figure 1: AR measured vs model on 8x8x8",
+		torus.New(8, 8, 8), []collective.Strategy{collective.StratAR},
+		sweep.MessageSizes(1, 4096), true, 0, 0, nil)
+}
+
+// Fig2 is the same study on a 4096-node 16x16x16 partition.
+func Fig2(cfg Config) (*report.Table, error) {
+	return figSweep(cfg, "Figure 2: AR measured vs model on 16x16x16",
+		torus.New(16, 16, 16), []collective.Strategy{collective.StratAR},
+		sweep.MessageSizes(1, 4096), true, 0, 0, nil)
+}
+
+// Fig3 reproduces the per-node throughput summary across partitions: the
+// bisection-limited peak, a one-packet all-to-all, and a large-message
+// all-to-all.
+func Fig3(cfg Config) (*report.Table, error) {
+	shapes := []torus.Shape{
+		torus.New(8, 8, 1),
+		torus.New(8, 8, 8),
+		torus.New(8, 8, 16),
+		torus.New(8, 16, 16),
+		torus.New(8, 32, 16),
+		torus.New(16, 16, 16),
+	}
+	calib := model.DefaultCalib()
+	t := report.NewTable("Figure 3: AR per-node throughput (MB/s) by partition",
+		"Partition", "Peak bisection", "1-packet AA", "Large-message AA")
+	for _, paper := range shapes {
+		run, scaled := cfg.scale(paper)
+		onePkt, err := collective.RunAR(cfg.opts(run, 240))
+		if err != nil {
+			return t, err
+		}
+		large, err := collective.RunAR(cfg.opts(run, cfg.largeFor(run)))
+		if err != nil {
+			return t, err
+		}
+		t.AddRow(shapeLabel(paper, run, scaled),
+			model.PeakPerNodeBandwidth(calib, run), onePkt.PerNodeMBs, large.PerNodeMBs)
+	}
+	return t, nil
+}
+
+// Fig4 reproduces the direct-strategy comparison (AR, DR, throttled AR)
+// across partition shapes, including DR's dimension-order dependence.
+func Fig4(cfg Config) (*report.Table, error) {
+	shapes := []torus.Shape{
+		torus.New(8, 8, 8),
+		torus.New(16, 8, 8),
+		torus.New(8, 16, 8),
+		torus.New(8, 8, 16),
+		torus.New(8, 16, 16),
+		torus.New(8, 32, 16),
+	}
+	t := report.NewTable("Figure 4: percent of peak for direct strategies (large messages)",
+		"Partition", "AR %", "DR %", "Throttled %")
+	for _, paper := range shapes {
+		run, scaled := cfg.scale(paper)
+		m := cfg.largeFor(run)
+		ar, err := collective.RunAR(cfg.opts(run, m))
+		if err != nil {
+			return t, err
+		}
+		dr, err := collective.RunDR(cfg.opts(run, m))
+		if err != nil {
+			return t, err
+		}
+		th, err := collective.RunThrottled(cfg.opts(run, m))
+		if err != nil {
+			return t, err
+		}
+		t.AddRow(shapeLabel(paper, run, scaled), ar.PercentPeak, dr.PercentPeak, th.PercentPeak)
+	}
+	t.AddNote("DR should lead AR when the longest dimension is X (deterministic routing starts packets on X links)")
+	return t, nil
+}
+
+// Fig5 reproduces the VMesh measurement against its Equation 4 prediction
+// on 512 nodes (32x16 virtual mesh).
+func Fig5(cfg Config) (*report.Table, error) {
+	paper := torus.New(8, 8, 8)
+	run, scaled := cfg.scale(paper)
+	calib := model.DefaultCalib()
+	vc, vr := collective.BalancedFactor(run.P())
+	t := report.NewTable(fmt.Sprintf("Figure 5: VMesh (%dx%d) measured vs Eq4 prediction on %v", vc, vr, run),
+		"MsgBytes", "Measured MB/s", "Eq4 MB/s")
+	if scaled {
+		t.AddNote("partition scaled from %v to %v", paper, run)
+	}
+	for _, m := range sweep.MessageSizes(1, 512) {
+		opts := cfg.opts(run, m)
+		opts.VMeshCols, opts.VMeshRows = vc, vr
+		res, err := collective.RunVMesh(opts)
+		if err != nil {
+			return t, err
+		}
+		pred := model.VMeshTime(calib, run, vc, vr, m)
+		t.AddRow(m, res.PerNodeMBs, model.PerNodeBandwidth(calib, run, m, pred))
+	}
+	return t, nil
+}
+
+// Fig6 reproduces the AR-vs-VMesh comparison on 512 nodes: VMesh wins below
+// the 32-64 byte crossover, loses about 2x for large messages.
+func Fig6(cfg Config) (*report.Table, error) {
+	return figSweep(cfg, "Figure 6: AA comparison on 8x8x8 (short messages)",
+		torus.New(8, 8, 8),
+		[]collective.Strategy{collective.StratAR, collective.StratVMesh},
+		sweep.MessageSizes(1, 512), false, 32, 16, nil)
+}
+
+// Fig7 reproduces the three-way comparison (AR, TPS, VMesh) on the
+// asymmetric 4096-node 8x32x16 partition.
+func Fig7(cfg Config) (*report.Table, error) {
+	return figSweep(cfg, "Figure 7: AA comparison on 8x32x16 (short messages)",
+		torus.New(8, 32, 16),
+		[]collective.Strategy{collective.StratAR, collective.StratTPS, collective.StratVMesh},
+		sweep.MessageSizes(1, 256), false, 128, 32, &[3]torus.Dim{torus.X, torus.Z, torus.Y})
+}

@@ -1,0 +1,137 @@
+// Package model implements the paper's analytic performance model for
+// all-to-all communication on the Blue Gene/L torus (Section 2.1,
+// Equations 1-4) and the calibration constants measured by the authors.
+//
+// All times are expressed in the simulator's abstract time units, where one
+// unit is the time to move one byte across one link at the paper's
+// effective rate beta = 6.48 ns/byte. Seconds() converts.
+package model
+
+import (
+	"alltoall/internal/torus"
+)
+
+// Calib holds the machine calibration constants from Section 3 of the
+// paper.
+type Calib struct {
+	// BetaNsPerByte is the effective per-byte network transfer time
+	// (6.48 ns/byte on BG/L); it defines the duration of one time unit.
+	BetaNsPerByte float64
+
+	// AlphaAR is the per-destination startup cost of the packet-based AR
+	// runtime, in time units (450 processor cycles ~= 0.64 us ~= 99 units).
+	AlphaAR int64
+
+	// AlphaMsg is the per-message startup cost of the message-passing
+	// runtime used by the virtual-mesh scheme (1170 cycles ~= 1.7 us ~= 258
+	// units).
+	AlphaMsg int64
+
+	// AlphaMPI is the per-destination startup cost of the production MPI
+	// all-to-all, in time units (protocol and object alloc overheads).
+	AlphaMPI int64
+
+	// GammaMilliPerByte is the intermediate-node memory copy cost in
+	// milli-units per byte (1.6 ns/byte ~= 247 milli-units/byte).
+	GammaMilliPerByte int64
+
+	// HeaderBytes is the software header carried in the first packet of
+	// every message (48 bytes).
+	HeaderBytes int
+
+	// ProtoBytes is the per-block protocol header of the combining
+	// (virtual mesh) scheme (8 bytes).
+	ProtoBytes int
+
+	// CPUCyclesPerNs converts processor cycles to nanoseconds (700 MHz).
+	CPUCyclesPerNs float64
+}
+
+// DefaultCalib returns the constants measured in the paper.
+func DefaultCalib() Calib {
+	return Calib{
+		BetaNsPerByte:     6.48,
+		AlphaAR:           99,
+		AlphaMsg:          258,
+		AlphaMPI:          441,
+		GammaMilliPerByte: 247,
+		HeaderBytes:       48,
+		ProtoBytes:        8,
+		CPUCyclesPerNs:    0.7,
+	}
+}
+
+// Seconds converts time units to seconds.
+func (c Calib) Seconds(units float64) float64 {
+	return units * c.BetaNsPerByte * 1e-9
+}
+
+// Units converts seconds to time units.
+func (c Calib) Units(seconds float64) float64 {
+	return seconds / (c.BetaNsPerByte * 1e-9)
+}
+
+// ContentionFactor returns the paper's contention parameter C = M/8 for the
+// shape's longest dimension (Equation 2's derivation). For mesh dimensions
+// the effective factor doubles; this returns the exact cut-based value
+// normalised per node: PeakTimePerByte / P.
+func ContentionFactor(s torus.Shape) float64 {
+	return s.PeakTimePerByte() / float64(s.P())
+}
+
+// PeakTime returns the Equation 2 peak all-to-all time in units for
+// per-pair payload m: T = P * C * m (C = M/8 on a torus).
+func PeakTime(s torus.Shape, m int) float64 {
+	return s.PeakTime(m)
+}
+
+// DirectTime returns Equation 3, the predicted direct (AR) all-to-all time
+// in units: T ~= P*alpha + P*C*(m+h).
+func DirectTime(c Calib, s torus.Shape, m int) float64 {
+	p := float64(s.P())
+	return p*float64(c.AlphaAR) + float64(s.P())*ContentionFactor(s)*float64(m+c.HeaderBytes)
+}
+
+// VMeshTime returns Equation 4, the predicted 2D virtual-mesh combining
+// all-to-all time in units:
+//
+//	T ~= (Pvx+Pvy)*alpha + 2*P*(m+proto)*(C + gamma)
+func VMeshTime(c Calib, s torus.Shape, pvx, pvy, m int) float64 {
+	p := float64(s.P())
+	gamma := float64(c.GammaMilliPerByte) / 1000
+	return float64(pvx+pvy)*float64(c.AlphaMsg) +
+		2*p*float64(m+c.ProtoBytes)*(ContentionFactor(s)+gamma)
+}
+
+// PointToPoint returns Equation 1, the time in units to send one
+// point-to-point message of m bytes over hops network hops with contention
+// factor cFactor (1 for an unloaded network).
+func PointToPoint(c Calib, m int, hops int, cFactor float64) float64 {
+	l := float64(hops) * 15 // per-hop router latency, units
+	return float64(c.AlphaAR) + cFactor*float64(m+c.HeaderBytes) + l
+}
+
+// CrossoverBytes returns the message size at which the virtual-mesh scheme
+// and the direct scheme are predicted to cost the same network time,
+// ignoring startup terms: comparing Eq 3 and Eq 4 beta terms gives
+// m = h - 2*proto (about 32 bytes with the default calibration).
+func CrossoverBytes(c Calib) int {
+	return c.HeaderBytes - 2*c.ProtoBytes
+}
+
+// PerNodeBandwidth converts an all-to-all completion time in units to
+// per-node payload throughput in MB/s: each node moves (P-1)*m payload
+// bytes.
+func PerNodeBandwidth(c Calib, s torus.Shape, m int, units float64) float64 {
+	if units <= 0 {
+		return 0
+	}
+	bytesPerUnit := float64(s.P()-1) * float64(m) / units
+	return bytesPerUnit / c.BetaNsPerByte * 1e3 // bytes/ns -> MB/s
+}
+
+// PeakPerNodeBandwidth returns the bisection-limited per-node throughput in
+// MB/s (the "peak" series of Figure 3).
+func PeakPerNodeBandwidth(c Calib, s torus.Shape) float64 {
+	return s.BisectionBandwidthPerNode() / c.BetaNsPerByte * 1e3
+}

@@ -1,0 +1,132 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"alltoall/internal/torus"
+)
+
+func TestContentionFactorTorus(t *testing.T) {
+	// C = M/8 on a torus (Equation 2).
+	cases := []struct {
+		s    torus.Shape
+		want float64
+	}{
+		{torus.New(8, 8, 8), 1},
+		{torus.New(16, 16, 16), 2},
+		{torus.New(8, 32, 16), 4},
+		{torus.New(40, 32, 16), 5},
+	}
+	for _, c := range cases {
+		if got := ContentionFactor(c.s); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("%v: C = %v, want %v", c.s, got, c.want)
+		}
+	}
+}
+
+func TestPeakTimeEq2(t *testing.T) {
+	s := torus.New(8, 8, 8)
+	// T = P * (M/8) * m = 512 * 1 * 1000.
+	if got := PeakTime(s, 1000); got != 512000 {
+		t.Errorf("PeakTime = %v, want 512000", got)
+	}
+}
+
+func TestDirectTimeEq3(t *testing.T) {
+	c := DefaultCalib()
+	s := torus.New(8, 8, 8)
+	m := 952 // m+h = 1000
+	want := 512*99.0 + 512*1*1000.0
+	if got := DirectTime(c, s, m); math.Abs(got-want) > 1e-6 {
+		t.Errorf("DirectTime = %v, want %v", got, want)
+	}
+}
+
+func TestVMeshTimeEq4(t *testing.T) {
+	c := DefaultCalib()
+	s := torus.New(8, 8, 8)
+	m := 8
+	want := float64(32+16)*258 + 2*512*float64(8+8)*(1+0.247)
+	if got := VMeshTime(c, s, 32, 16, m); math.Abs(got-want) > 1e-6 {
+		t.Errorf("VMeshTime = %v, want %v", got, want)
+	}
+}
+
+func TestCrossover(t *testing.T) {
+	// h - 2*proto = 48 - 16 = 32 bytes, as derived in Section 4.2.
+	if got := CrossoverBytes(DefaultCalib()); got != 32 {
+		t.Errorf("crossover = %d, want 32", got)
+	}
+}
+
+func TestVMeshBeatsDirectForShortMessages(t *testing.T) {
+	c := DefaultCalib()
+	s := torus.New(8, 32, 16) // 4096 nodes, M=32
+	// Ignore startup terms: beta term comparison at m=8 should favour vmesh.
+	short := VMeshTime(c, s, 128, 32, 8)
+	direct := DirectTime(c, s, 8)
+	if short >= direct {
+		t.Errorf("vmesh %v should beat direct %v at m=8 on %v", short, direct, s)
+	}
+	// And lose for large messages (factor ~2 in the beta term).
+	long := VMeshTime(c, s, 128, 32, 65536)
+	directLong := DirectTime(c, s, 65536)
+	if long <= directLong {
+		t.Errorf("vmesh %v should lose to direct %v at m=64K", long, directLong)
+	}
+	ratio := long / directLong
+	if ratio < 1.7 || ratio > 2.6 {
+		t.Errorf("large-message vmesh/direct ratio = %v, want ~2", ratio)
+	}
+}
+
+func TestSecondsRoundTrip(t *testing.T) {
+	c := DefaultCalib()
+	if got := c.Seconds(1e9 / 6.48); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("Seconds = %v, want 1", got)
+	}
+	if got := c.Units(c.Seconds(12345)); math.Abs(got-12345) > 1e-6 {
+		t.Errorf("Units(Seconds(x)) = %v", got)
+	}
+}
+
+func TestPerNodeBandwidth(t *testing.T) {
+	c := DefaultCalib()
+	s := torus.New(8, 8, 8)
+	// At exactly peak time, per-node bandwidth equals the bisection limit.
+	units := PeakTime(s, 1000)
+	got := PerNodeBandwidth(c, s, 1000, units)
+	want := PeakPerNodeBandwidth(c, s)
+	if math.Abs(got-want) > 1e-9*want {
+		t.Errorf("bw at peak = %v, want %v", got, want)
+	}
+	// Sanity: one link at 6.48 ns/byte is ~154 MB/s; the 8x8x8 bisection
+	// limit per node is just under one link.
+	if want < 140 || want > 160 {
+		t.Errorf("8x8x8 peak per-node bw = %v MB/s, expected ~154", want)
+	}
+}
+
+func TestPointToPointMonotone(t *testing.T) {
+	c := DefaultCalib()
+	if PointToPoint(c, 100, 1, 1) >= PointToPoint(c, 10000, 1, 1) {
+		t.Error("p2p time must grow with message size")
+	}
+	if PointToPoint(c, 100, 1, 1) >= PointToPoint(c, 100, 20, 1) {
+		t.Error("p2p time must grow with hop count")
+	}
+}
+
+func TestTable4LatencyBallpark(t *testing.T) {
+	// The paper's Table 4 measures 0.52 ms for a 1-byte AR all-to-all on
+	// 8x8x8. Equation 3 with 64-byte minimum packets predicts:
+	// P*alpha + P*C*wire = 512*99 + 512*64 units = 83.6k units = 0.54 ms.
+	c := DefaultCalib()
+	s := torus.New(8, 8, 8)
+	units := float64(s.P())*float64(c.AlphaAR) + float64(s.P())*ContentionFactor(s)*64
+	ms := c.Seconds(units) * 1e3
+	if ms < 0.4 || ms > 0.7 {
+		t.Errorf("predicted 1-byte AA latency = %v ms, want ~0.52", ms)
+	}
+}

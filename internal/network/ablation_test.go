@@ -1,0 +1,180 @@
+package network
+
+import (
+	"strings"
+	"testing"
+
+	"alltoall/internal/torus"
+)
+
+// Ablation tests: each modeling mechanism in DESIGN.md section "Modeling
+// decisions" must actually matter. These run a saturating shift workload
+// (every node floods dist hops along a ring) and compare configurations.
+
+func runShift(t *testing.T, par Params, dist, n int) int64 {
+	t.Helper()
+	shape := torus.New(8, 1, 1)
+	srcs := make([]Source, 8)
+	for i := 0; i < 8; i++ {
+		srcs[i] = &pacedSource{spec: PacketSpec{Dst: int32((i + dist) % 8), Size: 256}, count: n}
+	}
+	// Spread across injection FIFOs like the collective layer does.
+	for i := 0; i < 8; i++ {
+		srcs[i].(*pacedSource).spec.Class = int8((i + dist) % 8 % 60)
+	}
+	nw, err := New(shape, par, srcs, countOnly{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin, err := nw.Run(1 << 42)
+	if err != nil {
+		t.Fatalf("dist=%d: %v", dist, err)
+	}
+	return fin
+}
+
+type countOnly struct{}
+
+func (countOnly) OnDeliver(d Delivered, fw []PacketSpec) ([]PacketSpec, int64, bool) {
+	return fw, 0, true
+}
+
+func TestAblationTransitPriorityMatters(t *testing.T) {
+	base := DefaultParams()
+	noPrio := base
+	noPrio.InjectTokens = 0 // entrants stream like transit
+	n := 400
+	with := runShift(t, base, 3, n)
+	without := runShift(t, noPrio, 3, n)
+	if with >= without {
+		t.Errorf("transit priority should speed the saturated ring: %d (with) vs %d (without)", with, without)
+	}
+}
+
+func TestAblationCutThroughMatters(t *testing.T) {
+	base := DefaultParams()
+	saf := base
+	saf.StoreForward = true
+	n := 400
+	ct := runShift(t, base, 3, n)
+	sf := runShift(t, saf, 3, n)
+	if ct > sf {
+		t.Errorf("cut-through should not be slower than store-and-forward: %d vs %d", ct, sf)
+	}
+}
+
+func TestAblationEscapeDelayZeroStillLive(t *testing.T) {
+	par := DefaultParams()
+	par.EscapeDelay = 0
+	_ = runShift(t, par, 3, 300) // must complete without deadlock
+}
+
+func TestAblationLookaheadHelpsOrNeutral(t *testing.T) {
+	base := DefaultParams()
+	la1 := base
+	la1.VCLookahead = 1
+	n := 400
+	deep := runShift(t, base, 2, n)
+	shallow := runShift(t, la1, 2, n)
+	// Lookahead must never deadlock and should not be dramatically worse.
+	if deep > shallow*2 {
+		t.Errorf("lookahead regressed throughput badly: %d vs %d", deep, shallow)
+	}
+}
+
+func TestDumpStateRenders(t *testing.T) {
+	shape := torus.New(4, 1, 1)
+	srcs := make([]Source, 4)
+	srcs[0] = &listSource{specs: []PacketSpec{{Dst: 2, Size: 256}}}
+	nw, err := New(shape, DefaultParams(), srcs, countOnly{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force a mid-flight stop (the packet is on the wire at t=70) and dump.
+	if _, err := nw.Run(70); err == nil {
+		t.Fatal("expected max-time stop")
+	}
+	var b strings.Builder
+	nw.DumpState(&b)
+	out := b.String()
+	if !strings.Contains(out, "inFlight=1") {
+		t.Errorf("dump missing in-flight packet: %q", out)
+	}
+}
+
+func TestTraceGrants(t *testing.T) {
+	shape := torus.New(4, 1, 1)
+	srcs := make([]Source, 4)
+	srcs[0] = &listSource{specs: []PacketSpec{{Dst: 1, Size: 256}, {Dst: 1, Size: 64}}}
+	nw, err := New(shape, DefaultParams(), srcs, countOnly{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := nw.TraceGrants(0, 0) // node 0, X+ link
+	if _, err := nw.Run(1 << 30); err != nil {
+		t.Fatal(err)
+	}
+	if len(*log) != 2 {
+		t.Fatalf("traced %d grants, want 2", len(*log))
+	}
+	if (*log)[0].Size != 256 || (*log)[1].Size != 64 {
+		t.Errorf("trace contents wrong: %+v", *log)
+	}
+	if (*log)[1].T <= (*log)[0].T {
+		t.Errorf("trace times not increasing")
+	}
+}
+
+func TestStatsUtilizationHelpers(t *testing.T) {
+	var s Stats
+	s.LinkBusy = []int64{100, 50, 0}
+	if got := s.MaxLinkUtilization(200); got != 0.5 {
+		t.Errorf("max util = %v", got)
+	}
+	if got := s.MeanLinkUtilization(100, 3); got != 0.5 {
+		t.Errorf("mean util = %v", got)
+	}
+	if s.MaxLinkUtilization(0) != 0 || s.MeanLinkUtilization(0, 3) != 0 {
+		t.Error("zero duration must not divide")
+	}
+	if s.MeanLatency() != 0 {
+		t.Error("latency of nothing should be 0")
+	}
+}
+
+func TestUtilSeries(t *testing.T) {
+	par := DefaultParams()
+	par.UtilSampleWindow = 1000
+	shape := torus.New(4, 4, 1)
+	p := shape.P()
+	srcs := make([]Source, p)
+	for n := 0; n < p; n++ {
+		srcs[n] = &allToAllSource{self: int32(n), p: int32(p), size: 256}
+	}
+	nw, err := New(shape, par, srcs, countOnly{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin, err := nw.Run(1 << 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := nw.Stats()
+	if len(st.UtilSeries) == 0 {
+		t.Fatal("no utilization samples recorded")
+	}
+	wantLen := int(fin/1000) + 1
+	if len(st.UtilSeries) > wantLen {
+		t.Errorf("series length %d exceeds run windows %d", len(st.UtilSeries), wantLen)
+	}
+	var sum float64
+	for _, u := range st.UtilSeries {
+		if u < 0 || u > 1.01 {
+			t.Fatalf("utilization sample %v out of range", u)
+		}
+		sum += u
+	}
+	if sum == 0 {
+		t.Error("all samples zero")
+	}
+}

@@ -1,0 +1,97 @@
+package network
+
+import (
+	"math/rand"
+	"testing"
+
+	"alltoall/internal/torus"
+)
+
+// BenchmarkSimulatorHops measures raw simulation throughput in packet-hops
+// per second on a saturated 8x8x4 all-to-all-like workload.
+func BenchmarkSimulatorHops(b *testing.B) {
+	b.ReportAllocs()
+	var totalHops int64
+	for i := 0; i < b.N; i++ {
+		shape := torus.New(8, 8, 4)
+		p := shape.P()
+		srcs := make([]Source, p)
+		for n := 0; n < p; n++ {
+			srcs[n] = &allToAllSource{self: int32(n), p: int32(p), size: 256}
+		}
+		nw, err := New(shape, DefaultParams(), srcs, countOnly{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := nw.Run(1 << 42); err != nil {
+			b.Fatal(err)
+		}
+		// Approximate hops: grants are one per link traversal.
+		st := nw.Stats()
+		totalHops += st.GrantsByVC[0] + st.GrantsByVC[1] + st.GrantsByVC[2]
+	}
+	b.ReportMetric(float64(totalHops)/b.Elapsed().Seconds(), "hops/s")
+}
+
+// BenchmarkEventHeap measures the raw event queue.
+func BenchmarkEventHeap(b *testing.B) {
+	b.ReportAllocs()
+	var h eventHeap
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1024; i++ {
+		h.push(event{t: rng.Int63n(1 << 20)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := h.pop()
+		e.t += int64(i % 4096)
+		h.push(e)
+	}
+}
+
+// TestRandomTrafficConservation is a property test: arbitrary small shapes
+// with arbitrary random point-to-point traffic always complete and deliver
+// every packet exactly once.
+func TestRandomTrafficConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 15; trial++ {
+		dims := [3]int{1 + rng.Intn(6), 1 + rng.Intn(6), 1 + rng.Intn(4)}
+		shape := torus.NewMesh(dims[0], dims[1], dims[2],
+			rng.Intn(2) == 0, rng.Intn(2) == 0, rng.Intn(2) == 0)
+		if shape.Validate() != nil {
+			continue
+		}
+		p := shape.P()
+		srcs := make([]Source, p)
+		want := make([]int64, p)
+		for n := 0; n < p; n++ {
+			count := rng.Intn(20)
+			specs := make([]PacketSpec, 0, count)
+			for i := 0; i < count; i++ {
+				d := rng.Intn(p)
+				if d == n {
+					continue
+				}
+				size := int32(64 + 32*rng.Intn(7))
+				det := rng.Intn(2) == 0
+				specs = append(specs, PacketSpec{Dst: int32(d), Size: size, Det: det, Class: int8(rng.Intn(60))})
+				want[d]++
+			}
+			srcs[n] = &listSource{specs: specs}
+		}
+		h := newCountHandler(p)
+		nw, err := New(shape, DefaultParams(), srcs, h)
+		if err != nil {
+			t.Fatalf("trial %d shape %v: %v", trial, shape, err)
+		}
+		if _, err := nw.Run(1 << 40); err != nil {
+			t.Fatalf("trial %d shape %v: %v", trial, shape, err)
+		}
+		for n := 0; n < p; n++ {
+			if h.perNode[n] != want[n] {
+				t.Fatalf("trial %d shape %v node %d: got %d packets, want %d",
+					trial, shape, n, h.perNode[n], want[n])
+			}
+		}
+	}
+}

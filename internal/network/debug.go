@@ -1,0 +1,69 @@
+package network
+
+import (
+	"fmt"
+	"io"
+)
+
+// TraceGrants enables grant-time logging for one output link (debugging).
+func (nw *Network) TraceGrants(node int32, dir int) *[]GrantEvent {
+	nw.traceNode, nw.traceDir = node, dir
+	nw.traceLog = &[]GrantEvent{}
+	return nw.traceLog
+}
+
+// GrantEvent records one traced link grant.
+type GrantEvent struct {
+	T    int64
+	Size int32
+	VC   int8
+	Src  int32
+	Dst  int32
+}
+
+// DumpState writes a human-readable snapshot of every non-empty queue, for
+// diagnosing stalls. Intended for tests and debugging tools.
+func (nw *Network) DumpState(w io.Writer) {
+	fmt.Fprintf(w, "t=%d inFlight=%d activeSrc=%d\n", nw.now, nw.inFlight, nw.activeSrc)
+	for n := range nw.routers {
+		r := &nw.routers[n]
+		hdr := false
+		head := func() {
+			if !hdr {
+				fmt.Fprintf(w, "node %d %v cpuBusy=%v pendValid=%v pendingFw=%d srcDone=%v\n",
+					n, nw.coords[n], r.cpuBusy, r.pendValid, len(r.pendingFw), r.srcDone)
+				fmt.Fprintf(w, "  tok:")
+				for d := 0; d < numDirs; d++ {
+					if r.nbr[d] >= 0 {
+						fmt.Fprintf(w, " d%d=[%d %d %d]", d, r.tok[d][0], r.tok[d][1], r.tok[d][2])
+					}
+				}
+				fmt.Fprintf(w, "\n  outBusy:")
+				for d := 0; d < numDirs; d++ {
+					fmt.Fprintf(w, " %d", r.out[d])
+				}
+				fmt.Fprintln(w)
+				hdr = true
+			}
+		}
+		dumpQ := func(name string, q *pktQueue) {
+			if q.empty() {
+				return
+			}
+			head()
+			pid := q.peek()
+			p := &nw.pkts[pid]
+			fmt.Fprintf(w, "  %s: %d pkts %dB, head {dst=%d src=%d size=%d hops=%v vc=%d inDir=%d det=%v kind=%d}\n",
+				name, q.count, q.bytes, p.dst, p.src, p.size, p.hops, p.vc, p.inDir, p.det, p.kind)
+		}
+		for d := 0; d < numDirs; d++ {
+			for vc := 0; vc < NumVC; vc++ {
+				dumpQ(fmt.Sprintf("in[%d][%d]", d, vc), &r.in[d][vc])
+			}
+		}
+		for i := range r.inj {
+			dumpQ(fmt.Sprintf("inj[%d]", i), &r.inj[i])
+		}
+		dumpQ("recv", &r.recv)
+	}
+}

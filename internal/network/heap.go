@@ -1,0 +1,60 @@
+package network
+
+// event is a scheduled simulator action. Kept small (24 bytes) for heap
+// throughput; the binary heap is hand-rolled to avoid container/heap
+// interface dispatch in the hot loop.
+type event struct {
+	t    int64
+	node int32
+	a    int32
+	kind uint8
+}
+
+const (
+	evArrive  = iota // packet a finishes traversing a link into node
+	evService        // run router arbitration at node
+	evCPUKick        // re-poll the node's CPU (throttle wait expiry)
+)
+
+type eventHeap struct {
+	ev []event
+}
+
+func (h *eventHeap) len() int { return len(h.ev) }
+
+func (h *eventHeap) push(e event) {
+	h.ev = append(h.ev, e)
+	i := len(h.ev) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.ev[parent].t <= h.ev[i].t {
+			break
+		}
+		h.ev[parent], h.ev[i] = h.ev[i], h.ev[parent]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	top := h.ev[0]
+	last := len(h.ev) - 1
+	h.ev[0] = h.ev[last]
+	h.ev = h.ev[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && h.ev[l].t < h.ev[smallest].t {
+			smallest = l
+		}
+		if r < last && h.ev[r].t < h.ev[smallest].t {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.ev[i], h.ev[smallest] = h.ev[smallest], h.ev[i]
+		i = smallest
+	}
+	return top
+}

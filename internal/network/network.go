@@ -1,0 +1,829 @@
+package network
+
+import (
+	"fmt"
+	"math/bits"
+
+	"alltoall/internal/torus"
+)
+
+// Directions: 2*dim + 0 is the + direction, 2*dim + 1 is the - direction.
+const numDirs = 6
+
+func dirOf(dim torus.Dim, sign int) int {
+	if sign > 0 {
+		return 2 * int(dim)
+	}
+	return 2*int(dim) + 1
+}
+
+func dimOfDir(dir int) torus.Dim { return torus.Dim(dir / 2) }
+
+func signOfDir(dir int) int {
+	if dir%2 == 0 {
+		return 1
+	}
+	return -1
+}
+
+func oppositeDir(dir int) int { return dir ^ 1 }
+
+// vcCost returns the buffer/token cost of a packet on a virtual channel.
+// Dynamic VCs use byte accounting with flit-credit streaming (grants may
+// overshoot, modelling cut-through into a draining buffer). The bubble
+// escape VC accounts whole max-packet slots with no overshoot: Puente's
+// bubble invariant (one free packet slot always remains on each ring) needs
+// local free space to lower-bound ring free space, which overshoot or
+// sub-packet fragmentation would break and deadlock the escape path.
+func vcCost(vc int8, size int32) int32 {
+	if vc == VCBubble {
+		return MaxPacketBytes
+	}
+	return size
+}
+
+// PacketSpec describes a packet to inject.
+type PacketSpec struct {
+	Dst      int32 // destination rank
+	Size     int32 // wire bytes, MinPacketBytes..MaxPacketBytes
+	Payload  int32 // application payload bytes carried (bookkeeping only)
+	Aux      int32 // strategy cookie (e.g. final destination for TPS phase 1)
+	ExtraCPU int64 // additional CPU time to charge on injection (alpha, copies)
+	Det      bool  // deterministic dimension-ordered routing (no adaptivity)
+	Class    int8  // injection FIFO class; mapped onto FIFOs modulo Params.InjFIFOs
+	Kind     uint8 // strategy-defined packet kind
+}
+
+// SrcStatus is the result of polling a Source.
+type SrcStatus uint8
+
+const (
+	// SrcReady means the returned spec should be injected now.
+	SrcReady SrcStatus = iota
+	// SrcWait means nothing to inject until the returned time (throttling).
+	SrcWait
+	// SrcDone means the source has no further packets, ever.
+	SrcDone
+)
+
+// Source produces the injection schedule for one node. The network polls it
+// whenever the node's CPU is free and the relevant injection FIFO has room.
+type Source interface {
+	Next(now int64) (PacketSpec, SrcStatus, int64)
+}
+
+// Delivered describes a packet handed to the CPU at its destination.
+type Delivered struct {
+	Node    int32 // node at which the packet was received
+	Src     int32 // original injecting node
+	Aux     int32
+	Size    int32
+	Payload int32
+	Enq     int64 // injection timestamp
+	Kind    uint8
+}
+
+// Handler observes deliveries and implements software forwarding: the
+// specs appended to fw are re-injected from the receiving node (charging the
+// CPU for each). extraCPU is added to the CPU receive cost (e.g. the VMesh
+// sort/copy gamma term). final marks packets that complete the collective
+// (they count toward FinishTime).
+type Handler interface {
+	OnDeliver(d Delivered, fw []PacketSpec) (fwOut []PacketSpec, extraCPU int64, final bool)
+}
+
+// packet is the in-flight representation. Slots are pooled.
+type packet struct {
+	dst     int32
+	src     int32
+	size    int32
+	payload int32
+	aux     int32
+	enq     int64
+	blocked int64 // time this packet first failed arbitration here (0 = never)
+	hops    [3]int8
+	vc      int8  // VC occupied at the current node's input; -1 if in an injection FIFO
+	inDir   int8  // input direction at the current node; -1 if in an injection FIFO
+	want    uint8 // bitmask of output directions this packet can use next
+	det     bool
+	kind    uint8
+}
+
+// wantMask computes the output directions a packet can take given its
+// remaining hops: every profitable direction for adaptive packets, only the
+// first dimension-order direction for deterministic ones.
+func wantMask(hops [3]int8, det bool) uint8 {
+	var m uint8
+	for d := torus.Dim(0); d < torus.NumDims; d++ {
+		if h := hops[d]; h != 0 {
+			m |= 1 << dirOf(d, int(h))
+			if det {
+				break
+			}
+		}
+	}
+	return m
+}
+
+type cpuOp uint8
+
+const (
+	opNone cpuOp = iota
+	opRecv
+	opInject
+)
+
+type router struct {
+	in   [numDirs][NumVC]pktQueue
+	tok  [numDirs][NumVC]int32 // credits for the neighbour's input VC reached via this output
+	nbr  [numDirs]int32        // neighbour rank per output direction, -1 at mesh edges
+	out  [numDirs]int64        // outBusyUntil per output direction
+	inj  []pktQueue
+	recv pktQueue
+
+	pendingFw []PacketSpec // software forwards awaiting CPU injection
+	pendSrc   PacketSpec   // one-slot buffer for a polled-but-unplaced source spec
+	pendValid bool
+
+	cpuBusy   bool
+	cpuEnd    int64
+	cpuToggle bool // alternate reception and injection service fairly
+	curOp     cpuOp
+	curPkt    int32
+	curSpec   PacketSpec
+	curFw     []PacketSpec
+	curFinal  bool
+
+	srcDone    bool
+	svcPending bool
+	svcAt      int64
+	svcMask    uint8
+	occMask    uint32 // bit per queue (18 input VCs, then injection FIFOs) that is non-empty
+	rrCursor   uint32
+}
+
+// Network is a simulated torus machine.
+type Network struct {
+	Shape torus.Shape
+	P     int
+	Par   Params
+
+	routers []router
+	coords  []torus.Coord
+	pkts    []packet
+	freePkt int32 // head of free list threaded through pkts[i].dst
+	evq     eventHeap
+	now     int64
+
+	sources   []Source
+	handler   Handler
+	activeSrc int
+	inFlight  int64
+
+	traceNode int32
+	traceDir  int
+	traceLog  *[]GrantEvent
+
+	linkCount int
+	stats     Stats
+}
+
+// New builds a network for the given shape with per-node sources and a
+// delivery handler. sources may contain nil entries (nodes that inject
+// nothing). handler must not be nil.
+func New(shape torus.Shape, par Params, sources []Source, handler Handler) (*Network, error) {
+	if err := shape.Validate(); err != nil {
+		return nil, err
+	}
+	if handler == nil {
+		return nil, fmt.Errorf("network: nil handler")
+	}
+	p := shape.P()
+	if sources != nil && len(sources) != p {
+		return nil, fmt.Errorf("network: %d sources for %d nodes", len(sources), p)
+	}
+	// VCBytes must admit a joining packet under the bubble rule
+	// (size + one full-packet bubble), or the escape channel deadlocks.
+	if par.InjFIFOs < 1 || par.VCBytes < 2*MaxPacketBytes || par.CPUDen <= 0 || par.VCLookahead < 1 {
+		return nil, fmt.Errorf("network: invalid params %+v", par)
+	}
+	nw := &Network{
+		Shape:   shape,
+		P:       p,
+		Par:     par,
+		routers: make([]router, p),
+		coords:  make([]torus.Coord, p),
+		sources: sources,
+		handler: handler,
+		freePkt: -1,
+	}
+	nw.stats.LinkBusy = make([]int64, p*numDirs)
+	nw.stats.CPUBusy = make([]int64, p)
+	nw.linkCount = shape.LinkCount()
+	for n := 0; n < p; n++ {
+		nw.coords[n] = shape.Coords(n)
+	}
+	for n := 0; n < p; n++ {
+		r := &nw.routers[n]
+		for d := 0; d < numDirs; d++ {
+			nc, ok := shape.Neighbor(nw.coords[n], dimOfDir(d), signOfDir(d))
+			if !ok {
+				r.nbr[d] = -1
+				continue
+			}
+			r.nbr[d] = int32(shape.Rank(nc))
+			for vc := 0; vc < NumVC; vc++ {
+				// Every VC can overshoot capacity by one max packet
+				// (flit-credit streaming grants); size the queue for it.
+				r.in[d][vc] = newPktQueue(par.VCBytes + MaxPacketBytes)
+				r.tok[d][vc] = par.VCBytes
+			}
+		}
+		r.inj = make([]pktQueue, par.InjFIFOs)
+		for i := range r.inj {
+			r.inj[i] = newPktQueue(par.InjFIFOBytes)
+		}
+		r.recv = newPktQueue(par.RecvFIFOBytes)
+		if sources != nil && sources[n] != nil {
+			nw.activeSrc++
+		} else {
+			r.srcDone = true
+		}
+	}
+	return nw, nil
+}
+
+// Now returns the current simulation time.
+func (nw *Network) Now() int64 { return nw.now }
+
+// Stats returns the collected statistics.
+func (nw *Network) Stats() *Stats { return &nw.stats }
+
+func (nw *Network) allocPkt() int32 {
+	if nw.freePkt >= 0 {
+		pid := nw.freePkt
+		nw.freePkt = nw.pkts[pid].dst
+		return pid
+	}
+	nw.pkts = append(nw.pkts, packet{})
+	return int32(len(nw.pkts) - 1)
+}
+
+func (nw *Network) freePacket(pid int32) {
+	nw.pkts[pid].dst = nw.freePkt
+	nw.freePkt = pid
+}
+
+// routeHops computes the signed per-dimension hop vector for a packet from
+// src to dst. Exact half-ring ties on even torus dimensions are split by
+// (src+dst) parity so that the all-to-all load is balanced across both
+// directions.
+func (nw *Network) routeHops(src, dst int32) [3]int8 {
+	a, b := nw.coords[src], nw.coords[dst]
+	var h [3]int8
+	for d := torus.Dim(0); d < torus.NumDims; d++ {
+		delta := nw.Shape.Delta(d, a[d], b[d])
+		k := nw.Shape.Size[d]
+		if nw.Shape.Wrap[d] && k%2 == 0 && (delta == k/2 || delta == -k/2) {
+			// Half-ring ties: split by source parity so the aggregate
+			// all-to-all load lands evenly on both ring directions.
+			if src%2 == 1 {
+				delta = -k / 2
+			} else {
+				delta = k / 2
+			}
+		}
+		h[d] = int8(delta)
+	}
+	return h
+}
+
+// Run drives the simulation until all sources are done and all packets are
+// delivered, or until maxTime is exceeded. It returns the completion time.
+func (nw *Network) Run(maxTime int64) (int64, error) {
+	for n := 0; n < nw.P; n++ {
+		nw.maybeRunCPU(int32(n))
+	}
+	for nw.evq.len() > 0 {
+		e := nw.evq.pop()
+		if e.t < nw.now {
+			return 0, fmt.Errorf("network: time went backwards (%d < %d)", e.t, nw.now)
+		}
+		nw.now = e.t
+		if nw.now > maxTime {
+			return 0, fmt.Errorf("network: exceeded max time %d (in flight %d, active sources %d)",
+				maxTime, nw.inFlight, nw.activeSrc)
+		}
+		nw.stats.EventsByKind[e.kind]++
+		switch e.kind {
+		case evArrive:
+			nw.arrive(e.node, e.a)
+		case evService:
+			r := &nw.routers[e.node]
+			mask := uint8(e.a)
+			if r.svcPending && r.svcAt <= e.t {
+				mask |= r.svcMask
+				r.svcPending = false
+				r.svcMask = 0
+			}
+			if mask != 0 {
+				nw.service(e.node, mask)
+			}
+		case evCPUKick:
+			nw.cpuDoneOrKick(e.node)
+		}
+	}
+	if nw.inFlight != 0 || nw.activeSrc != 0 {
+		return 0, fmt.Errorf("network: stalled at t=%d with %d packets in flight, %d active sources (deadlock?)",
+			nw.now, nw.inFlight, nw.activeSrc)
+	}
+	nw.stats.flushWindows(nw.Par.UtilSampleWindow, nw.linkCount)
+	return nw.stats.FinishTime, nil
+}
+
+func (nw *Network) arrive(node, pid int32) {
+	p := &nw.pkts[pid]
+	r := &nw.routers[node]
+	qIdx := int(p.inDir)*NumVC + int(p.vc)
+	q := &r.in[p.inDir][p.vc]
+	q.push(pid, vcCost(p.vc, p.size))
+	r.occMask |= 1 << qIdx
+	// A push frees no resources, so the only new candidate move is the
+	// arrived packet itself; a targeted attempt on this queue suffices.
+	if q.count <= nw.window(p.vc) {
+		freeMask := nw.freeOutputs(r)
+		nw.tryQueue(node, r, q, qIdx, nw.window(p.vc), &freeMask, maskAll)
+	}
+}
+
+// Service wake masks: one bit per output direction, plus a bit meaning
+// "reception FIFO drained".
+const (
+	maskRecv uint8 = 1 << 6
+	maskAll  uint8 = 0x7f
+)
+
+// window returns the arbitration lookahead for a VC index (-1 = injection
+// FIFO).
+func (nw *Network) window(vc int8) int32 {
+	if vc == VCDyn0 || vc == VCDyn1 {
+		return nw.Par.VCLookahead
+	}
+	return 1
+}
+
+func (nw *Network) freeOutputs(r *router) uint8 {
+	var m uint8
+	now := nw.now
+	for d := 0; d < numDirs; d++ {
+		if r.nbr[d] >= 0 && r.out[d] <= now {
+			m |= 1 << d
+		}
+	}
+	return m
+}
+
+// tryQueue attempts to move packets from the first `win` entries of q.
+// Returns true if at least one packet moved. freeMask is updated as links
+// are claimed. Only packets whose desires intersect mask are considered;
+// once a packet is popped, the mask widens for the rest of this queue (the
+// pop is itself the wakeup for the packets behind it).
+func (nw *Network) tryQueue(node int32, r *router, q *pktQueue, qIdx int, win int32, freeMask *uint8, mask uint8) bool {
+	moved := false
+	for i := int32(0); i < q.count && i < win; {
+		pid := q.at(i)
+		p := &nw.pkts[pid]
+		if p.dst == node {
+			if !r.recv.fits(p.size) {
+				i++
+				continue
+			}
+			inDir, vc := p.inDir, p.vc
+			cost := p.size
+			if inDir >= 0 {
+				cost = vcCost(vc, p.size)
+			}
+			q.removeAt(i, cost)
+			if inDir >= 0 {
+				nw.creditUpstream(node, inDir, vc, cost)
+			} else {
+				nw.maybeRunCPU(node)
+			}
+			r.recv.push(pid, p.size)
+			nw.maybeRunCPU(node)
+			moved = true
+			mask = maskAll
+			continue // entry i replaced by the next packet
+		}
+		if p.want&mask == 0 {
+			i++
+			continue
+		}
+		if p.want&*freeMask == 0 {
+			nw.noteBlocked(node, p)
+			i++
+			continue
+		}
+		inDir, vc := p.inDir, p.vc
+		cost := p.size
+		if inDir >= 0 {
+			cost = vcCost(vc, p.size)
+		}
+		if granted := nw.tryRoute(node, r, pid, p, *freeMask); granted >= 0 {
+			*freeMask &^= 1 << granted
+			q.removeAt(i, cost)
+			if inDir >= 0 {
+				nw.creditUpstream(node, inDir, vc, cost)
+			} else {
+				nw.maybeRunCPU(node)
+			}
+			moved = true
+			mask = maskAll
+			continue
+		}
+		nw.noteBlocked(node, p)
+		i++
+	}
+	if q.count == 0 {
+		r.occMask &^= 1 << qIdx
+	}
+	return moved
+}
+
+// noteBlocked starts the escape-eligibility clock for a packet that failed
+// arbitration, and guarantees a retry once the clock expires.
+func (nw *Network) noteBlocked(node int32, p *packet) {
+	if p.blocked == 0 {
+		p.blocked = nw.now
+	}
+	// Re-arm the escape-maturity wakeup on every failed pass: a coalesced
+	// earlier wakeup will land here again and reschedule, so the chain
+	// always reaches the maturity time even when individual events are
+	// dropped by coalescing.
+	if mature := p.blocked + nw.Par.EscapeDelay; mature > nw.now {
+		nw.scheduleService(node, mature, p.want)
+	}
+}
+
+// scheduleService enqueues a coalesced arbitration pass for node at time t,
+// for the wake reasons in mask. Token visibility is immediate (only the
+// wakeup is delayed), so merging a later nudge into an earlier pending one
+// is safe. Deadline wakeups that an earlier pass cannot discover (a link's
+// busyUntil, escape maturity) are pushed with their mask in the event.
+func (nw *Network) scheduleService(node int32, t int64, mask uint8) {
+	r := &nw.routers[node]
+	if r.svcPending && r.svcAt <= t {
+		r.svcMask |= mask
+		return
+	}
+	r.svcPending = true
+	r.svcAt = t
+	r.svcMask |= mask
+	nw.evq.push(event{t: t, node: node, kind: evService})
+}
+
+// service runs router arbitration at a node until no packet can move,
+// considering packets whose desires intersect mask.
+func (nw *Network) service(node int32, mask uint8) {
+	r := &nw.routers[node]
+	nQ := numDirs*NumVC + len(r.inj)
+	for {
+		freeMask := nw.freeOutputs(r)
+		if freeMask&mask == 0 && mask&maskRecv == 0 {
+			return
+		}
+		progress := false
+		r.rrCursor++
+		rot := int(r.rrCursor) % nQ
+		// Visit only non-empty queues, starting the rotation at rot for
+		// fairness: bits >= rot first, then the wrap-around remainder.
+		occ := r.occMask
+		high := occ & (^uint32(0) << rot)
+		for _, part := range [2]uint32{high, occ &^ (^uint32(0) << rot)} {
+			for part != 0 {
+				idx := bits.TrailingZeros32(part)
+				part &^= 1 << idx
+				var q *pktQueue
+				var win int32 = 1
+				if idx < numDirs*NumVC {
+					vc := idx % NumVC
+					q = &r.in[idx/NumVC][vc]
+					if vc != VCBubble {
+						win = nw.Par.VCLookahead
+					}
+				} else {
+					q = &r.inj[idx-numDirs*NumVC]
+				}
+				if q.count == 0 {
+					continue
+				}
+				if nw.tryQueue(node, r, q, idx, win, &freeMask, mask) {
+					progress = true
+				}
+			}
+		}
+		if !progress {
+			return
+		}
+		mask = maskAll // any move may have enabled further moves
+	}
+}
+
+// creditUpstream returns the token for the input VC slot that a departing
+// packet occupied at node (cost = vcCost of the packet), and wakes the
+// upstream router. inDir is the direction of the input port, i.e. the
+// direction from this node toward the upstream sender.
+func (nw *Network) creditUpstream(node int32, inDir, vc int8, cost int32) {
+	r := &nw.routers[node]
+	up := r.nbr[int(inDir)]
+	if up < 0 {
+		panic("network: credit for nonexistent upstream link")
+	}
+	ur := &nw.routers[up]
+	ur.tok[oppositeDir(int(inDir))][vc] += cost
+	nw.scheduleService(up, nw.now+nw.Par.CreditDelay, 1<<oppositeDir(int(inDir)))
+}
+
+// tryRoute attempts to start pid on an output link of node whose bit is set
+// in freeMask. On success the packet is committed to the wire (arrival
+// event scheduled) and the granted direction is returned; the caller pops
+// it from its queue. Returns -1 on failure.
+func (nw *Network) tryRoute(node int32, r *router, pid int32, p *packet, freeMask uint8) int {
+	// Adaptive candidates on the dynamic VCs (JSQ on tokens). A grant only
+	// requires one flit-credit (32 bytes) free: with virtual cut-through
+	// and flit-granular flow control a packet may stream into a buffer
+	// that is draining concurrently, so occupancy can overshoot by up to
+	// one packet (the overshoot models stalled bytes held on the upstream
+	// wire). Tokens go negative to bound the overshoot.
+	// Candidate outputs on the dynamic VCs. Adaptive packets may take any
+	// profitable direction (JSQ across the dynamic VCs); deterministic
+	// packets are restricted to strict dimension order (first unfinished
+	// dimension only) but still use the dynamic channels - a packet-atomic
+	// simulation of the pure bubble-VC deterministic mode degenerates into
+	// slot-conveyor throughput that flit-level hardware does not exhibit.
+	bestDir, bestVC, bestTok := -1, -1, int32(-1<<30)
+	for d := torus.Dim(0); d < torus.NumDims; d++ {
+		h := p.hops[d]
+		if h == 0 {
+			continue
+		}
+		o := dirOf(d, int(h))
+		if freeMask&(1<<o) != 0 {
+			// Packets continuing along the same dimension stream on a
+			// single flit-credit; packets entering a dimension (turns and
+			// injections) need InjectTokens free. Giving dimension-
+			// continuing traffic priority keeps free slack circulating
+			// along each dimension chain instead of being swallowed by
+			// entrants, which would collapse saturated chains into a
+			// one-hole conveyor.
+			need := int32(PacketGranule)
+			if (p.inDir < 0 || dimOfDir(int(p.inDir)) != d) && nw.Par.InjectTokens > need {
+				need = nw.Par.InjectTokens
+			}
+			for vc := 0; vc < 2; vc++ {
+				if t := r.tok[o][vc]; t >= need && t > bestTok {
+					bestDir, bestVC, bestTok = o, vc, t
+				}
+			}
+		}
+		if p.det {
+			break // dimension order: only the first unfinished dimension
+		}
+	}
+	if bestDir < 0 {
+		// Bubble escape: a last resort for packets that have been blocked
+		// here longer than EscapeDelay.
+		if p.blocked == 0 || nw.now-p.blocked < nw.Par.EscapeDelay {
+			return -1
+		}
+		// Strict dimension order (X, then Y, then Z).
+		var o = -1
+		for d := torus.Dim(0); d < torus.NumDims; d++ {
+			if p.hops[d] != 0 {
+				o = dirOf(d, int(p.hops[d]))
+				break
+			}
+		}
+		if o < 0 || freeMask&(1<<o) == 0 {
+			return -1
+		}
+		// The bubble rule, slot-quantized: a packet continuing around the
+		// same ring needs one free slot; a packet joining the ring (from an
+		// injection FIFO, a dynamic VC, or another dimension) must leave a
+		// free full-packet bubble, i.e. needs two.
+		need := int32(MaxPacketBytes)
+		joining := p.vc != VCBubble || p.inDir < 0 || dimOfDir(int(p.inDir)) != dimOfDir(o)
+		if joining {
+			need += MaxPacketBytes
+		}
+		if r.tok[o][VCBubble] < need {
+			return -1
+		}
+		bestDir, bestVC = o, VCBubble
+	}
+
+	o, vc := bestDir, bestVC
+	r.tok[o][vc] -= vcCost(int8(vc), p.size)
+	r.out[o] = nw.now + int64(p.size)
+	nw.stats.LinkBusy[int(node)*numDirs+o] += int64(p.size)
+	nw.stats.GrantsByVC[vc]++
+	if w := nw.Par.UtilSampleWindow; w > 0 {
+		nw.stats.noteWindowBusy(nw.now, w, nw.linkCount, p.size)
+	}
+	if nw.traceLog != nil && node == nw.traceNode && o == nw.traceDir {
+		*nw.traceLog = append(*nw.traceLog, GrantEvent{T: nw.now, Size: p.size, VC: int8(vc), Src: p.src, Dst: p.dst})
+	}
+	d := dimOfDir(o)
+	if p.hops[d] > 0 {
+		p.hops[d]--
+	} else {
+		p.hops[d]++
+	}
+	p.vc = int8(vc)
+	p.inDir = int8(oppositeDir(o))
+	p.blocked = 0
+	p.want = wantMask(p.hops, p.det)
+	// Virtual cut-through: a transit packet is eligible for its next hop as
+	// soon as its 32-byte header chunk lands; only at its final hop (where
+	// it is consumed) must the tail arrive first. The outgoing link can
+	// start re-serializing immediately because all links run at the same
+	// rate, so bytes arrive exactly as they are needed.
+	eta := nw.now + int64(p.size) + nw.Par.RouterDelay
+	if p.want != 0 && !nw.Par.StoreForward {
+		eta = nw.now + PacketGranule + nw.Par.RouterDelay
+	}
+	nw.evq.push(event{t: eta, node: r.nbr[o], a: pid, kind: evArrive})
+	// The link-free wakeup is a hard deadline: an earlier coalesced pass
+	// would find the link still busy and discover nothing, so push it
+	// unconditionally with its direction bit.
+	nw.evq.push(event{t: r.out[o], node: node, a: 1 << o, kind: evService})
+	return o
+}
+
+// maybeRunCPU starts a CPU operation at node if the CPU is idle and work is
+// available. Reception and injection (software forwards, then fresh source
+// packets) are serviced in alternation - a strict receive-first policy
+// would starve the forwarding half of indirect strategies and serialize
+// their phases - except that a half-full reception FIFO always takes
+// priority so the network keeps draining.
+func (nw *Network) maybeRunCPU(node int32) {
+	r := &nw.routers[node]
+	if r.cpuBusy {
+		return
+	}
+	preferRecv := !r.cpuToggle || 2*r.recv.bytes >= nw.Par.RecvFIFOBytes
+	if preferRecv && nw.tryRecvOp(node, r) {
+		return
+	}
+	if nw.tryInjectOp(node, r) {
+		return
+	}
+	if !preferRecv {
+		nw.tryRecvOp(node, r)
+	}
+}
+
+// tryRecvOp starts a reception CPU operation if one is pending.
+func (nw *Network) tryRecvOp(node int32, r *router) bool {
+	if r.recv.empty() {
+		return false
+	}
+	pid := r.recv.peek()
+	p := &nw.pkts[pid]
+	r.recv.pop(p.size)
+	fw, extra, final := nw.handler.OnDeliver(Delivered{
+		Node: node, Src: p.src, Aux: p.aux, Size: p.size,
+		Payload: p.payload, Enq: p.enq, Kind: p.kind,
+	}, r.curFw[:0])
+	r.curFw = fw
+	r.curOp = opRecv
+	r.curPkt = pid
+	r.curFinal = final
+	nw.startCPUOp(node, r, nw.Par.CPUCost(p.size)+extra)
+	// Reception FIFO space freed: blocked VC heads may now sink.
+	nw.scheduleService(node, nw.now, maskRecv)
+	return true
+}
+
+// tryInjectOp starts an injection CPU operation: a pending software forward
+// first, else the next packet from the source.
+func (nw *Network) tryInjectOp(node int32, r *router) bool {
+	if len(r.pendingFw) > 0 {
+		spec := r.pendingFw[0]
+		fifo := int(spec.Class) % len(r.inj)
+		if !r.inj[fifo].fits(spec.Size) {
+			// The CPU waits for this FIFO; it is re-kicked when the FIFO
+			// drains (see tryQueue). Fresh injections stay queued behind
+			// the forward, preserving ordering.
+			return false
+		}
+		copy(r.pendingFw, r.pendingFw[1:])
+		r.pendingFw = r.pendingFw[:len(r.pendingFw)-1]
+		r.curOp = opInject
+		r.curSpec = spec
+		nw.startCPUOp(node, r, nw.Par.CPUCost(spec.Size)+spec.ExtraCPU)
+		return true
+	}
+	if r.srcDone {
+		return false
+	}
+	if !r.pendValid {
+		spec, status, when := nw.sources[node].Next(nw.now)
+		switch status {
+		case SrcDone:
+			r.srcDone = true
+			nw.activeSrc--
+			return false
+		case SrcWait:
+			nw.evq.push(event{t: when, node: node, kind: evCPUKick})
+			return false
+		case SrcReady:
+			r.pendSrc = spec
+			r.pendValid = true
+		}
+	}
+	spec := r.pendSrc
+	fifo := int(spec.Class) % len(r.inj)
+	if !r.inj[fifo].fits(spec.Size) {
+		return false // re-kicked when the FIFO drains
+	}
+	r.pendValid = false
+	r.curOp = opInject
+	r.curSpec = spec
+	nw.startCPUOp(node, r, nw.Par.CPUCost(spec.Size)+spec.ExtraCPU)
+	return true
+}
+
+func (nw *Network) startCPUOp(node int32, r *router, cost int64) {
+	if cost < 1 {
+		cost = 1
+	}
+	r.cpuBusy = true
+	r.cpuToggle = !r.cpuToggle
+	r.cpuEnd = nw.now + cost
+	nw.stats.CPUBusy[node] += cost
+	nw.evq.push(event{t: r.cpuEnd, node: node, kind: evCPUKick})
+}
+
+// cpuDoneOrKick completes the current CPU operation (if one is running and
+// due) and then tries to start the next one.
+func (nw *Network) cpuDoneOrKick(node int32) {
+	r := &nw.routers[node]
+	if r.cpuBusy {
+		if nw.now < r.cpuEnd {
+			// A stale wait-kick (e.g. a throttle expiry scheduled before the
+			// current op started); the op's own completion kick will follow.
+			return
+		}
+		nw.finishCPUOp(node, r)
+	}
+	nw.maybeRunCPU(node)
+}
+
+func (nw *Network) finishCPUOp(node int32, r *router) {
+	switch r.curOp {
+	case opRecv:
+		pid := r.curPkt
+		p := &nw.pkts[pid]
+		nw.stats.noteDelivery(nw.now, p, r.curFinal)
+		nw.inFlight--
+		nw.freePacket(pid)
+		if len(r.curFw) > 0 {
+			r.pendingFw = append(r.pendingFw, r.curFw...)
+			r.curFw = r.curFw[:0]
+			if len(r.pendingFw) > nw.stats.MaxPendingFw {
+				nw.stats.MaxPendingFw = len(r.pendingFw)
+			}
+		}
+	case opInject:
+		spec := r.curSpec
+		pid := nw.allocPkt()
+		p := &nw.pkts[pid]
+		*p = packet{
+			dst: spec.Dst, src: node, size: spec.Size, payload: spec.Payload,
+			aux: spec.Aux, enq: nw.now, hops: nw.routeHops(node, spec.Dst),
+			vc: -1, inDir: -1, det: spec.Det, kind: spec.Kind,
+		}
+		p.want = wantMask(p.hops, p.det)
+		if spec.Dst == node {
+			panic("network: self-addressed packet")
+		}
+		nw.inFlight++
+		nw.stats.PacketsInjected++
+		nw.stats.WireBytesInjected += int64(spec.Size)
+		nw.stats.LastInject = nw.now
+		fifo := int(spec.Class) % len(r.inj)
+		q := &r.inj[fifo]
+		q.push(pid, spec.Size)
+		r.occMask |= 1 << (numDirs*NumVC + fifo)
+		// Only the freshly injected packet is a new candidate; a targeted
+		// attempt on its FIFO suffices (it only helps if it reached the
+		// FIFO head).
+		if q.count == 1 {
+			freeMask := nw.freeOutputs(r)
+			nw.tryQueue(node, r, q, numDirs*NumVC+fifo, 1, &freeMask, maskAll)
+		}
+	}
+	r.cpuBusy = false
+	r.curOp = opNone
+}

@@ -1,0 +1,69 @@
+package network
+
+// pktQueue is a fixed-capacity FIFO of packet ids with byte accounting.
+// Capacity is expressed in bytes; the slot array is sized for the worst case
+// of minimum-size packets so a byte-accepted push never lacks a slot.
+type pktQueue struct {
+	buf      []int32
+	head     int32
+	count    int32
+	bytes    int32
+	capBytes int32
+}
+
+func newPktQueue(capBytes int32) pktQueue {
+	slots := capBytes / MinPacketBytes
+	if slots < 1 {
+		slots = 1
+	}
+	return pktQueue{buf: make([]int32, slots), capBytes: capBytes}
+}
+
+func (q *pktQueue) empty() bool { return q.count == 0 }
+
+// fits reports whether a packet of the given size can be accepted.
+func (q *pktQueue) fits(size int32) bool {
+	return q.bytes+size <= q.capBytes && q.count < int32(len(q.buf))
+}
+
+func (q *pktQueue) push(pid, size int32) {
+	if !q.fits(size) {
+		panic("network: pktQueue overflow (flow control violated)")
+	}
+	q.buf[(q.head+q.count)%int32(len(q.buf))] = pid
+	q.count++
+	q.bytes += size
+}
+
+func (q *pktQueue) peek() int32 {
+	return q.buf[q.head]
+}
+
+func (q *pktQueue) pop(size int32) int32 {
+	pid := q.buf[q.head]
+	q.head = (q.head + 1) % int32(len(q.buf))
+	q.count--
+	q.bytes -= size
+	return pid
+}
+
+// at returns the i-th queued packet id (0 = head) without removing it.
+func (q *pktQueue) at(i int32) int32 {
+	return q.buf[(q.head+i)%int32(len(q.buf))]
+}
+
+// removeAt removes the i-th entry, preserving the order of the rest.
+func (q *pktQueue) removeAt(i, size int32) int32 {
+	n := int32(len(q.buf))
+	pos := (q.head + i) % n
+	pid := q.buf[pos]
+	for j := i; j > 0; j-- {
+		cur := (q.head + j) % n
+		prev := (q.head + j - 1) % n
+		q.buf[cur] = q.buf[prev]
+	}
+	q.head = (q.head + 1) % n
+	q.count--
+	q.bytes -= size
+	return pid
+}

@@ -1,0 +1,133 @@
+package network
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPktQueueFIFO(t *testing.T) {
+	q := newPktQueue(1024)
+	for i := int32(0); i < 4; i++ {
+		if !q.fits(256) {
+			t.Fatalf("push %d rejected", i)
+		}
+		q.push(i, 256)
+	}
+	if q.fits(64) {
+		t.Error("overfull accept")
+	}
+	for i := int32(0); i < 4; i++ {
+		if got := q.peek(); got != i {
+			t.Fatalf("peek = %d, want %d", got, i)
+		}
+		if got := q.pop(256); got != i {
+			t.Fatalf("pop = %d, want %d", got, i)
+		}
+	}
+	if !q.empty() {
+		t.Error("not empty after draining")
+	}
+}
+
+func TestPktQueueRemoveAt(t *testing.T) {
+	q := newPktQueue(2048)
+	for i := int32(0); i < 5; i++ {
+		q.push(10+i, 64)
+	}
+	if got := q.removeAt(2, 64); got != 12 {
+		t.Fatalf("removeAt(2) = %d", got)
+	}
+	want := []int32{10, 11, 13, 14}
+	for i, w := range want {
+		if got := q.at(int32(i)); got != w {
+			t.Fatalf("after removeAt, at(%d) = %d, want %d", i, got, w)
+		}
+	}
+	// Remove the head via removeAt(0) matches pop semantics.
+	if got := q.removeAt(0, 64); got != 10 {
+		t.Fatalf("removeAt(0) = %d", got)
+	}
+	if q.count != 3 || q.bytes != 3*64 {
+		t.Fatalf("count=%d bytes=%d", q.count, q.bytes)
+	}
+}
+
+func TestPktQueueWrapAround(t *testing.T) {
+	q := newPktQueue(4 * 64)
+	// Exercise ring wrap: repeatedly push/pop past the buffer end.
+	next := int32(0)
+	expect := int32(0)
+	for round := 0; round < 25; round++ {
+		for q.fits(64) {
+			q.push(next, 64)
+			next++
+		}
+		q.pop(64)
+		expect++
+		q.removeAt(1, 64) // middle removal under wrap
+		// The removed id is expect+1; account for it.
+		for i := int32(0); i < q.count; i++ {
+			got := q.at(i)
+			if got == expect+1 {
+				t.Fatalf("removed element still present")
+			}
+		}
+		// Drain one more to keep ids tractable.
+		got := q.pop(64)
+		if got != expect {
+			t.Fatalf("round %d: pop = %d, want %d", round, got, expect)
+		}
+		expect += 2 // one popped + one removed from the middle
+	}
+}
+
+func TestPktQueueOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("overflow did not panic")
+		}
+	}()
+	q := newPktQueue(128)
+	q.push(0, 64)
+	q.push(1, 64)
+	q.push(2, 64)
+}
+
+func TestEventHeapOrdering(t *testing.T) {
+	f := func(times []int16) bool {
+		var h eventHeap
+		for i, tt := range times {
+			h.push(event{t: int64(tt), a: int32(i)})
+		}
+		last := int64(-1 << 40)
+		for h.len() > 0 {
+			e := h.pop()
+			if e.t < last {
+				return false
+			}
+			last = e.t
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEventHeapStableUnderInterleaving(t *testing.T) {
+	var h eventHeap
+	for i := 0; i < 100; i++ {
+		h.push(event{t: int64(100 - i)})
+		if i%3 == 0 {
+			h.pop()
+		}
+	}
+	last := int64(-1)
+	for h.len() > 0 {
+		e := h.pop()
+		if e.t < last {
+			t.Fatalf("heap order violated: %d after %d", e.t, last)
+		}
+		last = e.t
+	}
+}

@@ -1,0 +1,138 @@
+package network
+
+import "math/bits"
+
+// LatencyBuckets is the number of power-of-two latency histogram buckets.
+const LatencyBuckets = 40
+
+// Stats aggregates simulation measurements.
+type Stats struct {
+	// LinkBusy[node*6+dir] is the total time (units) the output link was
+	// occupied by packet transfers.
+	LinkBusy []int64
+	// CPUBusy[node] is the total CPU time consumed by packet handling.
+	CPUBusy []int64
+
+	PacketsInjected   int64
+	WireBytesInjected int64
+
+	// EventsByKind counts processed events (arrive, service, cpu).
+	EventsByKind [3]int64
+
+	// GrantsByVC counts link grants per virtual channel (dyn0, dyn1,
+	// bubble): a high bubble share indicates dynamic-VC exhaustion.
+	GrantsByVC [NumVC]int64
+
+	// LastInject is the completion time of the last injection CPU op
+	// (source or software forward); FinishTime - LastInject is the drain
+	// tail.
+	LastInject int64
+
+	// MaxPendingFw is the largest software-forward backlog observed at any
+	// node: the intermediate-memory requirement of indirect strategies
+	// (packets awaiting CPU re-injection).
+	MaxPendingFw int
+
+	// UtilSeries is the mean link utilization per UtilSampleWindow window
+	// (only recorded when the parameter is set). Grants are attributed to
+	// the window in which they start.
+	UtilSeries []float64
+
+	windowBusy int64
+	windowIdx  int64
+
+	// Final deliveries (packets whose handler marked them final).
+	FinalPackets int64
+	FinalPayload int64
+	FinishTime   int64
+
+	// All deliveries including intermediate (forwarded) hops.
+	TotalDelivered int64
+
+	// LatencyHist[i] counts final packets with injection-to-delivery
+	// latency in [2^i, 2^(i+1)).
+	LatencyHist [LatencyBuckets]int64
+	LatencySum  int64
+	LatencyMax  int64
+}
+
+// noteWindowBusy accumulates per-window link busy time; window is the
+// sample window size, links the number of unidirectional links.
+func (s *Stats) noteWindowBusy(now, window int64, links int, size int32) {
+	idx := now / window
+	for s.windowIdx < idx {
+		s.UtilSeries = append(s.UtilSeries, float64(s.windowBusy)/float64(window*int64(links)))
+		s.windowBusy = 0
+		s.windowIdx++
+	}
+	s.windowBusy += int64(size)
+}
+
+// flushWindows closes the utilization series at the end of a run.
+func (s *Stats) flushWindows(window int64, links int) {
+	if window > 0 && s.windowBusy > 0 {
+		s.UtilSeries = append(s.UtilSeries, float64(s.windowBusy)/float64(window*int64(links)))
+		s.windowBusy = 0
+	}
+}
+
+func (s *Stats) noteDelivery(now int64, p *packet, final bool) {
+	s.TotalDelivered++
+	if !final {
+		return
+	}
+	s.FinalPackets++
+	s.FinalPayload += int64(p.payload)
+	if now > s.FinishTime {
+		s.FinishTime = now
+	}
+	lat := now - p.enq
+	s.LatencySum += lat
+	if lat > s.LatencyMax {
+		s.LatencyMax = lat
+	}
+	b := bits.Len64(uint64(lat))
+	if b >= LatencyBuckets {
+		b = LatencyBuckets - 1
+	}
+	s.LatencyHist[b]++
+}
+
+// MeanLatency returns the mean injection-to-delivery latency of final
+// packets, in time units.
+func (s *Stats) MeanLatency() float64 {
+	if s.FinalPackets == 0 {
+		return 0
+	}
+	return float64(s.LatencySum) / float64(s.FinalPackets)
+}
+
+// MaxLinkUtilization returns the highest per-link occupancy fraction given
+// the run duration.
+func (s *Stats) MaxLinkUtilization(duration int64) float64 {
+	if duration <= 0 {
+		return 0
+	}
+	var m int64
+	for _, b := range s.LinkBusy {
+		if b > m {
+			m = b
+		}
+	}
+	return float64(m) / float64(duration)
+}
+
+// MeanLinkUtilization returns the mean occupancy fraction over links that
+// exist (nonzero capacity is assumed for all counted slots; slots for mesh
+// edges stay zero and are excluded by counting only nonzero-busy links when
+// totalLinks is passed as 0).
+func (s *Stats) MeanLinkUtilization(duration int64, totalLinks int) float64 {
+	if duration <= 0 || totalLinks <= 0 {
+		return 0
+	}
+	var sum int64
+	for _, b := range s.LinkBusy {
+		sum += b
+	}
+	return float64(sum) / (float64(duration) * float64(totalLinks))
+}

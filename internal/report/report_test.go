@@ -1,0 +1,71 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("Test", "Shape", "Peak%")
+	tb.AddRow("8x8x8", 99.03)
+	tb.AddRow("40x32x16", 72.0)
+	var b strings.Builder
+	if err := tb.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Test") {
+		t.Errorf("missing title")
+	}
+	if !strings.Contains(lines[3], "99.0") {
+		t.Errorf("float not formatted: %q", lines[3])
+	}
+	// Columns align: "Peak%" starts at the same offset in header and rows.
+	hdr := lines[1]
+	off := strings.Index(hdr, "Peak%")
+	if lines[3][off-1] != ' ' && lines[3][off] == ' ' {
+		t.Errorf("misaligned row: %q", lines[3])
+	}
+}
+
+func TestTableNotes(t *testing.T) {
+	tb := NewTable("", "A")
+	tb.AddRow(1)
+	tb.AddNote("scaled by %d", 2)
+	var b strings.Builder
+	if err := tb.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "note: scaled by 2") {
+		t.Errorf("note missing: %q", b.String())
+	}
+	if tb.NumRows() != 1 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("ignored", "a", "b")
+	tb.AddRow("x", 1.25)
+	var b strings.Builder
+	if err := tb.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\nx,1.2\n"
+	if b.String() != want {
+		t.Errorf("csv = %q, want %q", b.String(), want)
+	}
+}
+
+func TestCSVRejectsCommas(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.AddRow("has,comma")
+	var b strings.Builder
+	if err := tb.WriteCSV(&b); err == nil {
+		t.Error("comma cell accepted")
+	}
+}

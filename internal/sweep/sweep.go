@@ -1,0 +1,60 @@
+// Package sweep runs families of all-to-all experiments: message-size
+// sweeps (the paper's figures plot throughput against message size) and
+// partition sweeps (percent of peak across machine shapes).
+package sweep
+
+import (
+	"fmt"
+
+	"alltoall/internal/collective"
+)
+
+// Point is one sweep sample.
+type Point struct {
+	MsgBytes int
+	Result   collective.Result
+}
+
+// MessageSizes returns a doubling ladder of message sizes in [lo, hi],
+// always including both endpoints.
+func MessageSizes(lo, hi int) []int {
+	if lo < 1 {
+		lo = 1
+	}
+	var out []int
+	for m := lo; m < hi; m *= 2 {
+		out = append(out, m)
+	}
+	if len(out) == 0 || out[len(out)-1] != hi {
+		out = append(out, hi)
+	}
+	return out
+}
+
+// Messages runs one strategy across the given message sizes, reusing opts
+// for everything else.
+func Messages(strat collective.Strategy, opts collective.Options, sizes []int) ([]Point, error) {
+	out := make([]Point, 0, len(sizes))
+	for _, m := range sizes {
+		o := opts
+		o.MsgBytes = m
+		res, err := collective.Run(strat, o)
+		if err != nil {
+			return out, fmt.Errorf("sweep: %s at m=%d: %w", strat, m, err)
+		}
+		out = append(out, Point{MsgBytes: m, Result: res})
+	}
+	return out, nil
+}
+
+// Crossover returns the smallest swept message size at which strategy b's
+// completion time meets or beats strategy a's, or -1 if it never does. Both
+// series must be over identical sizes.
+func Crossover(a, b []Point) int {
+	for i := range a {
+		if i < len(b) && b[i].MsgBytes == a[i].MsgBytes && a[i].Result.Time <= b[i].Result.Time {
+			return a[i].MsgBytes
+		}
+	}
+	return -1
+}

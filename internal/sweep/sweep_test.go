@@ -1,0 +1,71 @@
+package sweep
+
+import (
+	"testing"
+
+	"alltoall/internal/collective"
+	"alltoall/internal/torus"
+)
+
+func TestMessageSizes(t *testing.T) {
+	got := MessageSizes(8, 64)
+	want := []int{8, 16, 32, 64}
+	if len(got) != len(want) {
+		t.Fatalf("sizes = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sizes = %v, want %v", got, want)
+		}
+	}
+	if s := MessageSizes(5, 5); len(s) != 1 || s[0] != 5 {
+		t.Errorf("degenerate sweep = %v", s)
+	}
+	if s := MessageSizes(0, 2); s[0] != 1 {
+		t.Errorf("lo clamp failed: %v", s)
+	}
+	if s := MessageSizes(8, 100); s[len(s)-1] != 100 {
+		t.Errorf("hi endpoint missing: %v", s)
+	}
+}
+
+func TestMessagesSweep(t *testing.T) {
+	pts, err := Messages(collective.StratAR,
+		collective.Options{Shape: torus.New(4, 4, 1), Seed: 1}, []int{8, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0].Result.Time >= pts[1].Result.Time {
+		t.Errorf("larger message should take longer: %d vs %d", pts[0].Result.Time, pts[1].Result.Time)
+	}
+}
+
+func TestMessagesSweepError(t *testing.T) {
+	_, err := Messages(collective.Strategy("bogus"),
+		collective.Options{Shape: torus.New(4, 4, 1), Seed: 1}, []int{8})
+	if err == nil {
+		t.Error("bogus strategy accepted")
+	}
+}
+
+func TestCrossover(t *testing.T) {
+	mk := func(m int, tt int64) Point {
+		return Point{MsgBytes: m, Result: collective.Result{Time: tt}}
+	}
+	a := []Point{mk(8, 100), mk(16, 150), mk(32, 210)}
+	b := []Point{mk(8, 200), mk(16, 160), mk(32, 200)}
+	// a beats b until 32 where a=210 >= b=200... Crossover(a,b) returns the
+	// first size where a.Time <= b.Time, i.e. where a wins: that is 8.
+	if got := Crossover(a, b); got != 8 {
+		t.Errorf("crossover = %d, want 8", got)
+	}
+	if got := Crossover(b, a); got != 32 {
+		t.Errorf("crossover = %d, want 32", got)
+	}
+	if got := Crossover(b[:2], a[:2]); got != -1 {
+		t.Errorf("crossover = %d, want -1", got)
+	}
+}

@@ -1,0 +1,132 @@
+package torus
+
+// Peak all-to-all time analysis.
+//
+// The paper's Equation 2 gives the network-limited time for an all-to-all
+// with per-pair payload m on a torus whose longest dimension has size M:
+//
+//	T = P * (M/8) * m * beta
+//
+// i.e. the contention factor is C = M/8. That derivation assumes every
+// dimension is a torus with a uniformly loaded bisection. For mesh
+// dimensions (Table 2's "M" partitions) the load is not uniform: the centre
+// links of each line carry the most traffic, and the bottleneck per-link
+// load doubles relative to a torus of the same size.
+//
+// This file computes the exact per-link bottleneck load under ideally
+// balanced minimal routing, dimension by dimension. For torus dimensions it
+// reduces to Equation 2; for mesh dimensions it yields the centre-cut
+// bottleneck. All results are expressed in "unit time per payload byte"
+// where one unit is the time to move one byte across one link.
+
+// dimPlusHops returns, for dimension d, the total number of +direction hops
+// summed over all ordered coordinate pairs (a, b) in that dimension, under
+// minimal routing with even ties split equally. The value is scaled by 2 to
+// keep it integral (tie splitting contributes half hops), so the true total
+// is dimPlusHops/2.
+func (s Shape) dimPlusHops2(d Dim) int64 {
+	k := s.Size[d]
+	var total int64
+	for a := 0; a < k; a++ {
+		for b := 0; b < k; b++ {
+			if a == b {
+				continue
+			}
+			h := s.Delta(d, a, b)
+			if s.Wrap[d] && k%2 == 0 {
+				// Distance exactly k/2: Delta breaks the tie toward +, but an
+				// ideally balanced scheme splits such pairs across both
+				// directions, so count half in each.
+				diff := b - a
+				if diff < 0 {
+					diff += k
+				}
+				if 2*diff == k {
+					total += int64(h) // h == k/2 here; half of 2*h
+					continue
+				}
+			}
+			if h > 0 {
+				total += 2 * int64(h)
+			}
+		}
+	}
+	return total
+}
+
+// meshBottleneck2 returns twice the maximum per-link pair-crossing count for
+// a mesh dimension d: the number of ordered coordinate pairs whose (unique)
+// minimal path crosses the most-loaded +direction link, scaled by 2 to match
+// dimPlusHops2's scaling.
+func (s Shape) meshBottleneck2(d Dim) int64 {
+	k := s.Size[d]
+	var best int64
+	for j := 0; j < k-1; j++ { // link from j to j+1
+		crossings := int64(j+1) * int64(k-1-j)
+		if 2*crossings > best {
+			best = 2 * crossings
+		}
+	}
+	return best
+}
+
+// DimBottleneckPerByte returns the network time (in units per payload byte
+// of per-pair message size) that dimension d needs to carry an all-to-all,
+// assuming ideal load balance within the dimension. Zero for unit
+// dimensions.
+//
+// For a torus dimension of size k this is P*k/8 (Equation 2 restricted to
+// one dimension); for a mesh dimension it is the centre-link bottleneck,
+// approximately P*k/4.
+func (s Shape) DimBottleneckPerByte(d Dim) float64 {
+	k := s.Size[d]
+	if k == 1 {
+		return 0
+	}
+	p := s.P()
+	nodesPerCoord := float64(p / k)
+	if s.Wrap[d] {
+		// Uniform load: total +hops over all node pairs divided by the
+		// number of +direction links (= P).
+		hops2 := float64(s.dimPlusHops2(d)) / 2
+		totalPlusHops := hops2 * nodesPerCoord * nodesPerCoord
+		return totalPlusHops / float64(p)
+	}
+	// Mesh: bottleneck centre link. Each coordinate pair (a,b) represents
+	// (P/k)^2 node pairs; the +links at a given position j number P/k (one
+	// per line).
+	cross2 := float64(s.meshBottleneck2(d)) / 2
+	return cross2 * nodesPerCoord * nodesPerCoord / nodesPerCoord
+}
+
+// PeakTimePerByte returns the peak (best possible) all-to-all completion
+// time per payload byte of per-pair message size, in link byte-time units:
+// the maximum of the per-dimension bottlenecks. Multiply by the per-pair
+// message size m to get the Equation 2 peak time (for torus shapes:
+// P * (M/8) * m).
+func (s Shape) PeakTimePerByte() float64 {
+	var worst float64
+	for d := Dim(0); d < NumDims; d++ {
+		if b := s.DimBottleneckPerByte(d); b > worst {
+			worst = b
+		}
+	}
+	return worst
+}
+
+// PeakTime returns the Equation 2 peak all-to-all time, in link byte-time
+// units, for per-pair payload m bytes.
+func (s Shape) PeakTime(m int) float64 {
+	return s.PeakTimePerByte() * float64(m)
+}
+
+// BisectionBandwidthPerNode returns the peak sustainable all-to-all
+// throughput per node, in payload bytes per unit time: each node can move
+// (P-1)*m ~= P*m bytes of payload in PeakTime(m).
+func (s Shape) BisectionBandwidthPerNode() float64 {
+	per := s.PeakTimePerByte()
+	if per == 0 {
+		return 0
+	}
+	return float64(s.P()-1) / per
+}

@@ -1,0 +1,122 @@
+package torus
+
+// Pseudorandom destination permutations with O(1) per-node state.
+//
+// The paper's AR strategy injects packets toward destinations in a random
+// order, with a different order per source node, to smooth link contention.
+// Storing an explicit permutation per node costs O(P^2) memory, which is
+// prohibitive at 20,480 nodes; instead each node evaluates a format-
+// preserving permutation built from a small Feistel network with
+// cycle-walking, keyed by (seed, node).
+
+// Perm is a keyed bijection on [0, n).
+type Perm struct {
+	n     uint32
+	half  uint // bits per Feistel half
+	mask  uint32
+	keys  [4]uint32
+	ident bool // degenerate n<=1
+}
+
+// splitmix64 is the standard SplitMix64 mixing step, used for key derivation.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// NewPerm returns a pseudorandom permutation of [0, n) keyed by seed.
+// Distinct seeds give (practically) independent permutations.
+func NewPerm(n int, seed uint64) Perm {
+	if n < 0 {
+		panic("torus: NewPerm with negative n")
+	}
+	p := Perm{n: uint32(n)}
+	if n <= 1 {
+		p.ident = true
+		return p
+	}
+	bits := uint(1)
+	for 1<<bits < n {
+		bits++
+	}
+	if bits%2 == 1 {
+		bits++
+	}
+	p.half = bits / 2
+	p.mask = 1<<p.half - 1
+	s := seed
+	for i := range p.keys {
+		s = splitmix64(s)
+		p.keys[i] = uint32(s)
+	}
+	return p
+}
+
+// N returns the domain size.
+func (p Perm) N() int { return int(p.n) }
+
+func (p Perm) round(v, key uint32) uint32 {
+	x := uint64(v) ^ uint64(key)
+	x = splitmix64(x)
+	return uint32(x) & p.mask
+}
+
+func (p Perm) encryptOnce(v uint32) uint32 {
+	l := v >> p.half
+	r := v & p.mask
+	for _, k := range p.keys {
+		l, r = r, l^p.round(r, k)
+	}
+	return l<<p.half | r
+}
+
+// At returns the image of i under the permutation. It panics if i is out of
+// range. Cycle-walking re-encrypts until the value falls inside [0, n); the
+// expected number of rounds is < 4 because the Feistel domain is at most 4n.
+func (p Perm) At(i int) int {
+	if uint32(i) >= p.n && !(p.ident && i == 0) {
+		panic("torus: Perm.At index out of range")
+	}
+	if p.ident {
+		return i
+	}
+	v := uint32(i)
+	for {
+		v = p.encryptOnce(v)
+		if v < p.n {
+			return int(v)
+		}
+	}
+}
+
+// DestOrder is a per-node pseudorandom ordering of the other P-1 ranks,
+// evaluated lazily in O(1) memory.
+type DestOrder struct {
+	perm Perm
+	self int
+}
+
+// NewDestOrder returns the destination ordering for node self in a
+// partition of p nodes, keyed by seed. Every node gets an independent
+// ordering for the same seed.
+func NewDestOrder(p, self int, seed uint64) DestOrder {
+	return DestOrder{
+		perm: NewPerm(p-1, splitmix64(seed^0xA11A11)^uint64(self)*0x9E3779B97F4A7C15),
+		self: self,
+	}
+}
+
+// Len returns the number of destinations (P-1).
+func (o DestOrder) Len() int { return o.perm.N() }
+
+// At returns the i-th destination rank; the sequence visits every rank
+// except self exactly once.
+func (o DestOrder) At(i int) int {
+	j := o.perm.At(i)
+	if j >= o.self {
+		j++
+	}
+	return j
+}

@@ -1,0 +1,127 @@
+package torus
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPermIsBijection(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 16, 100, 511, 512, 1000} {
+		p := NewPerm(n, 42)
+		seen := make([]bool, n)
+		for i := 0; i < n; i++ {
+			v := p.At(i)
+			if v < 0 || v >= n {
+				t.Fatalf("n=%d: At(%d) = %d out of range", n, i, v)
+			}
+			if seen[v] {
+				t.Fatalf("n=%d: duplicate value %d", n, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPermBijectionProperty(t *testing.T) {
+	f := func(nRaw uint16, seed uint64) bool {
+		n := int(nRaw%700) + 2
+		p := NewPerm(n, seed)
+		seen := make([]bool, n)
+		for i := 0; i < n; i++ {
+			v := p.At(i)
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 30}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPermSeedsDiffer(t *testing.T) {
+	n := 256
+	a := NewPerm(n, 1)
+	b := NewPerm(n, 2)
+	same := 0
+	for i := 0; i < n; i++ {
+		if a.At(i) == b.At(i) {
+			same++
+		}
+	}
+	// Random permutations agree in ~1 position on average; allow slack.
+	if same > n/8 {
+		t.Errorf("seeds 1,2 agree in %d/%d positions; permutations look correlated", same, n)
+	}
+}
+
+func TestPermNotIdentity(t *testing.T) {
+	p := NewPerm(512, 7)
+	fixed := 0
+	for i := 0; i < 512; i++ {
+		if p.At(i) == i {
+			fixed++
+		}
+	}
+	if fixed > 64 {
+		t.Errorf("%d/512 fixed points; permutation too close to identity", fixed)
+	}
+}
+
+func TestDestOrderCoversAllButSelf(t *testing.T) {
+	p := 64
+	for _, self := range []int{0, 1, 31, 63} {
+		o := NewDestOrder(p, self, 99)
+		if o.Len() != p-1 {
+			t.Fatalf("Len = %d, want %d", o.Len(), p-1)
+		}
+		seen := make([]bool, p)
+		for i := 0; i < o.Len(); i++ {
+			d := o.At(i)
+			if d == self {
+				t.Fatalf("self %d appeared in its own destination order", self)
+			}
+			if d < 0 || d >= p || seen[d] {
+				t.Fatalf("bad or duplicate destination %d", d)
+			}
+			seen[d] = true
+		}
+	}
+}
+
+func TestDestOrderNodesDiffer(t *testing.T) {
+	p := 128
+	a := NewDestOrder(p, 3, 5)
+	b := NewDestOrder(p, 4, 5)
+	same := 0
+	for i := 0; i < a.Len(); i++ {
+		if a.At(i) == b.At(i) {
+			same++
+		}
+	}
+	if same > p/8 {
+		t.Errorf("nodes 3,4 share %d/%d order positions; orders look correlated", same, p-1)
+	}
+}
+
+func TestPermDegenerate(t *testing.T) {
+	p := NewPerm(1, 9)
+	if p.At(0) != 0 {
+		t.Error("n=1 permutation must be identity")
+	}
+	p0 := NewPerm(0, 9)
+	if p0.N() != 0 {
+		t.Error("n=0 permutation has nonzero domain")
+	}
+}
+
+func BenchmarkPermAt(b *testing.B) {
+	p := NewPerm(20480, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = p.At(i % 20480)
+	}
+}

@@ -1,0 +1,280 @@
+// Package traffic generalizes the communication substrate beyond the
+// paper's all-to-all: it generates many-to-many patterns (permutations,
+// shifts, transposes, hot spots, random subsets) and runs them on the
+// simulated torus with the same packetization, pacing and routing machinery
+// as the collective strategies. The paper's introduction motivates exactly
+// this: "we hope the performance analysis and the optimization techniques
+// ... can be also applied for more complex many-to-many communication
+// patterns".
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"alltoall/internal/collective"
+	"alltoall/internal/model"
+	"alltoall/internal/network"
+	"alltoall/internal/torus"
+)
+
+// Pattern produces, for every source rank, the list of destination ranks it
+// sends one message to. Destinations may repeat (multiple messages) but
+// must not include the source itself.
+type Pattern interface {
+	Name() string
+	Destinations(shape torus.Shape, src int) []int
+}
+
+// Shift sends every node one message to the node Offset ranks away
+// (wrapping): a classic neighbor/ring exchange.
+type Shift struct{ Offset int }
+
+func (s Shift) Name() string { return fmt.Sprintf("shift+%d", s.Offset) }
+
+// Destinations implements Pattern.
+func (s Shift) Destinations(shape torus.Shape, src int) []int {
+	p := shape.P()
+	d := ((src+s.Offset)%p + p) % p
+	if d == src {
+		return nil
+	}
+	return []int{d}
+}
+
+// DimShift sends along one torus dimension by a fixed hop count: every node
+// (x,y,z) sends to the node Hops away in Dim.
+type DimShift struct {
+	Dim  torus.Dim
+	Hops int
+}
+
+func (s DimShift) Name() string { return fmt.Sprintf("dimshift-%v+%d", s.Dim, s.Hops) }
+
+// Destinations implements Pattern.
+func (s DimShift) Destinations(shape torus.Shape, src int) []int {
+	c := shape.Coords(src)
+	k := shape.Size[s.Dim]
+	c[s.Dim] = ((c[s.Dim]+s.Hops)%k + k) % k
+	d := shape.Rank(c)
+	if d == src {
+		return nil
+	}
+	return []int{d}
+}
+
+// Transpose exchanges X and Y coordinates (matrix transpose on the XY
+// planes), a common FFT/linear-algebra pattern with heavy link reuse.
+type Transpose struct{}
+
+func (Transpose) Name() string { return "transpose" }
+
+// Destinations implements Pattern.
+func (Transpose) Destinations(shape torus.Shape, src int) []int {
+	if shape.Size[torus.X] != shape.Size[torus.Y] {
+		return nil // undefined off the square; validated by Run
+	}
+	c := shape.Coords(src)
+	c[torus.X], c[torus.Y] = c[torus.Y], c[torus.X]
+	d := shape.Rank(c)
+	if d == src {
+		return nil
+	}
+	return []int{d}
+}
+
+// RandomPermutation sends every node one message to a distinct random
+// partner (a permutation with no fixed points where possible).
+type RandomPermutation struct{ Seed uint64 }
+
+func (RandomPermutation) Name() string { return "randperm" }
+
+// Destinations implements Pattern.
+func (r RandomPermutation) Destinations(shape torus.Shape, src int) []int {
+	// Derangement-ish: use the shared keyed permutation; map fixed points
+	// to the next rank.
+	p := shape.P()
+	perm := torus.NewPerm(p, r.Seed|1)
+	d := perm.At(src)
+	if d == src {
+		d = (d + 1) % p
+	}
+	return []int{d}
+}
+
+// HotSpot sends every node one message to a single root (all-to-one
+// incast): the worst case for reception-side contention.
+type HotSpot struct{ Root int }
+
+func (h HotSpot) Name() string { return fmt.Sprintf("hotspot@%d", h.Root) }
+
+// Destinations implements Pattern.
+func (h HotSpot) Destinations(shape torus.Shape, src int) []int {
+	if src == h.Root%shape.P() {
+		return nil
+	}
+	return []int{h.Root % shape.P()}
+}
+
+// RandomSubset sends every node one message to each of K distinct random
+// peers: the general many-to-many pattern.
+type RandomSubset struct {
+	K    int
+	Seed uint64
+}
+
+func (r RandomSubset) Name() string { return fmt.Sprintf("many-to-%d", r.K) }
+
+// Destinations implements Pattern.
+func (r RandomSubset) Destinations(shape torus.Shape, src int) []int {
+	p := shape.P()
+	k := r.K
+	if k > p-1 {
+		k = p - 1
+	}
+	rng := rand.New(rand.NewSource(int64(r.Seed)*1e9 + int64(src)))
+	seen := map[int]bool{src: true}
+	out := make([]int, 0, k)
+	for len(out) < k {
+		d := rng.Intn(p)
+		if seen[d] {
+			continue
+		}
+		seen[d] = true
+		out = append(out, d)
+	}
+	return out
+}
+
+// Options configures a pattern run.
+type Options struct {
+	Shape    torus.Shape
+	MsgBytes int
+	Seed     uint64
+	Det      bool           // deterministic (dimension-ordered) routing
+	Par      network.Params // zero value: network.DefaultParams()
+	MaxTime  int64
+}
+
+// Result reports a pattern run.
+type Result struct {
+	Pattern          string
+	Shape            torus.Shape
+	MsgBytes         int
+	Messages         int64
+	Time             int64
+	Seconds          float64
+	MeanLatencyUnits float64
+	MaxLinkUtil      float64
+	MeanLinkUtil     float64
+	PerNodeMBs       float64 // delivered payload per node per second
+}
+
+// patternSource emits the packetized messages for one node's destination
+// list.
+type patternSource struct {
+	dests []int32
+	msg   collective.Msg
+	det   bool
+	di, j int
+}
+
+func (s *patternSource) Next(now int64) (network.PacketSpec, network.SrcStatus, int64) {
+	if s.di >= len(s.dests) {
+		return network.PacketSpec{}, network.SrcDone, 0
+	}
+	spec := network.PacketSpec{
+		Dst:     s.dests[s.di],
+		Size:    s.msg.PktSize(s.j),
+		Payload: s.msg.PktPayload(s.j),
+		Det:     s.det,
+		Class:   int8(s.dests[s.di] % 60),
+	}
+	s.j++
+	if s.j == s.msg.NPkts {
+		s.j = 0
+		s.di++
+	}
+	return spec, network.SrcReady, 0
+}
+
+type patternHandler struct {
+	recv []int64
+}
+
+func (h *patternHandler) OnDeliver(d network.Delivered, fw []network.PacketSpec) ([]network.PacketSpec, int64, bool) {
+	h.recv[d.Node] += int64(d.Payload)
+	return fw, 0, true
+}
+
+// Run executes a pattern on the simulated torus.
+func Run(pat Pattern, opts Options) (Result, error) {
+	if err := opts.Shape.Validate(); err != nil {
+		return Result{}, err
+	}
+	if opts.MsgBytes < 1 {
+		return Result{}, fmt.Errorf("traffic: MsgBytes must be >= 1")
+	}
+	if opts.Par == (network.Params{}) {
+		opts.Par = network.DefaultParams()
+	}
+	calib := model.DefaultCalib()
+	p := opts.Shape.P()
+	msg := collective.NewMsg(opts.MsgBytes, calib.HeaderBytes)
+	sources := make([]network.Source, p)
+	var messages int64
+	wantRecv := make([]int64, p)
+	for n := 0; n < p; n++ {
+		ds := pat.Destinations(opts.Shape, n)
+		dests := make([]int32, len(ds))
+		for i, d := range ds {
+			if d == n || d < 0 || d >= p {
+				return Result{}, fmt.Errorf("traffic: pattern %s produced invalid destination %d from %d",
+					pat.Name(), d, n)
+			}
+			dests[i] = int32(d)
+			wantRecv[d] += int64(opts.MsgBytes)
+		}
+		messages += int64(len(ds))
+		sources[n] = &patternSource{dests: dests, msg: msg, det: opts.Det}
+	}
+	if messages == 0 {
+		return Result{}, fmt.Errorf("traffic: pattern %s sends nothing on %v", pat.Name(), opts.Shape)
+	}
+	h := &patternHandler{recv: make([]int64, p)}
+	nw, err := network.New(opts.Shape, opts.Par, sources, h)
+	if err != nil {
+		return Result{}, err
+	}
+	maxTime := opts.MaxTime
+	if maxTime == 0 {
+		maxTime = int64(messages)*msg.Wire*int64(p) + 1<<24
+	}
+	t, err := nw.Run(maxTime)
+	if err != nil {
+		return Result{}, fmt.Errorf("traffic: %s on %v: %w", pat.Name(), opts.Shape, err)
+	}
+	for n := 0; n < p; n++ {
+		if h.recv[n] != wantRecv[n] {
+			return Result{}, fmt.Errorf("traffic: %s on %v: node %d received %d bytes, want %d",
+				pat.Name(), opts.Shape, n, h.recv[n], wantRecv[n])
+		}
+	}
+	st := nw.Stats()
+	res := Result{
+		Pattern:          pat.Name(),
+		Shape:            opts.Shape,
+		MsgBytes:         opts.MsgBytes,
+		Messages:         messages,
+		Time:             t,
+		Seconds:          calib.Seconds(float64(t)),
+		MeanLatencyUnits: st.MeanLatency(),
+		MaxLinkUtil:      st.MaxLinkUtilization(t),
+		MeanLinkUtil:     st.MeanLinkUtilization(t, opts.Shape.LinkCount()),
+	}
+	if t > 0 {
+		bytesPerUnit := float64(messages) * float64(opts.MsgBytes) / float64(p) / float64(t)
+		res.PerNodeMBs = bytesPerUnit / calib.BetaNsPerByte * 1e3
+	}
+	return res, nil
+}

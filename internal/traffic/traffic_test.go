@@ -1,0 +1,147 @@
+package traffic
+
+import (
+	"strings"
+	"testing"
+
+	"alltoall/internal/torus"
+)
+
+func shape844() torus.Shape { return torus.New(8, 4, 4) }
+
+func TestShiftPattern(t *testing.T) {
+	s := shape844()
+	res, err := Run(Shift{Offset: 3}, Options{Shape: s, MsgBytes: 512, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages != int64(s.P()) {
+		t.Errorf("messages = %d, want %d", res.Messages, s.P())
+	}
+	if res.Time <= 0 || res.PerNodeMBs <= 0 {
+		t.Errorf("bad result %+v", res)
+	}
+}
+
+func TestShiftZeroOffsetRejected(t *testing.T) {
+	if _, err := Run(Shift{Offset: 0}, Options{Shape: shape844(), MsgBytes: 64}); err == nil {
+		t.Error("self-only pattern accepted")
+	}
+}
+
+func TestDimShift(t *testing.T) {
+	s := shape844()
+	res, err := Run(DimShift{Dim: torus.X, Hops: 1}, Options{Shape: s, MsgBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A +1 X shift is pure nearest-neighbour: it should run close to link
+	// speed with very low contention.
+	if res.MaxLinkUtil > 1.0 {
+		t.Errorf("util %v > 1", res.MaxLinkUtil)
+	}
+	if !strings.HasPrefix(res.Pattern, "dimshift-X") {
+		t.Errorf("pattern name %q", res.Pattern)
+	}
+}
+
+func TestTransposeNeedsSquare(t *testing.T) {
+	if _, err := Run(Transpose{}, Options{Shape: shape844(), MsgBytes: 64}); err == nil {
+		t.Error("transpose on non-square XY accepted")
+	}
+	res, err := Run(Transpose{}, Options{Shape: torus.New(4, 4, 4), MsgBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Diagonal nodes don't send; everyone else exchanges.
+	p := int64(64)
+	diag := int64(4 * 4) // x==y for each z
+	if res.Messages != p-diag {
+		t.Errorf("messages = %d, want %d", res.Messages, p-diag)
+	}
+}
+
+func TestRandomPermutation(t *testing.T) {
+	s := shape844()
+	res, err := Run(RandomPermutation{Seed: 9}, Options{Shape: s, MsgBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages != int64(s.P()) {
+		t.Errorf("messages = %d", res.Messages)
+	}
+}
+
+func TestHotSpotIncast(t *testing.T) {
+	s := torus.New(4, 4, 1)
+	res, err := Run(HotSpot{Root: 5}, Options{Shape: s, MsgBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages != int64(s.P()-1) {
+		t.Errorf("messages = %d", res.Messages)
+	}
+	// Incast serializes on the root's reception: completion is at least
+	// (P-1) wire messages through the root's links (4 links here).
+	if res.Time < int64(s.P()-1)*256/6 {
+		t.Errorf("incast finished implausibly fast: %d", res.Time)
+	}
+}
+
+func TestRandomSubset(t *testing.T) {
+	s := shape844()
+	res, err := Run(RandomSubset{K: 5, Seed: 3}, Options{Shape: s, MsgBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages != int64(5*s.P()) {
+		t.Errorf("messages = %d, want %d", res.Messages, 5*s.P())
+	}
+	// K larger than P-1 clamps.
+	res2, err := Run(RandomSubset{K: 1000, Seed: 3}, Options{Shape: torus.New(4, 2, 1), MsgBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Messages != int64(7*8) {
+		t.Errorf("clamped messages = %d, want 56", res2.Messages)
+	}
+}
+
+func TestDeterministicRoutingPattern(t *testing.T) {
+	s := shape844()
+	res, err := Run(RandomPermutation{Seed: 4}, Options{Shape: s, MsgBytes: 512, Det: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Time <= 0 {
+		t.Error("no completion time")
+	}
+}
+
+func TestPatternValidation(t *testing.T) {
+	if _, err := Run(Shift{Offset: 1}, Options{Shape: torus.Shape{Size: [3]int{0, 1, 1}}, MsgBytes: 8}); err == nil {
+		t.Error("invalid shape accepted")
+	}
+	if _, err := Run(Shift{Offset: 1}, Options{Shape: shape844(), MsgBytes: 0}); err == nil {
+		t.Error("zero message accepted")
+	}
+}
+
+func TestPatternDestinationsPure(t *testing.T) {
+	// Property: Destinations never yields self or out-of-range ranks for
+	// any pattern in the catalogue.
+	s := torus.New(4, 4, 2)
+	pats := []Pattern{
+		Shift{Offset: 7}, DimShift{Dim: torus.Z, Hops: 1}, RandomPermutation{Seed: 2},
+		HotSpot{Root: 3}, RandomSubset{K: 4, Seed: 8},
+	}
+	for _, pat := range pats {
+		for src := 0; src < s.P(); src++ {
+			for _, d := range pat.Destinations(s, src) {
+				if d == src || d < 0 || d >= s.P() {
+					t.Fatalf("%s: bad destination %d from %d", pat.Name(), d, src)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package alltoall
+
+import "alltoall/internal/traffic"
+
+// Beyond all-to-all: many-to-many traffic patterns on the same simulated
+// torus (the paper's introduction motivates applying its analysis to such
+// patterns). See the traffic example for usage.
+
+// Pattern generates per-source destination lists for a many-to-many run.
+type Pattern = traffic.Pattern
+
+// The built-in patterns.
+type (
+	// Shift sends each rank one message Offset ranks ahead (wrapping).
+	Shift = traffic.Shift
+	// DimShift shifts along one torus dimension by a fixed hop count.
+	DimShift = traffic.DimShift
+	// Transpose exchanges X and Y coordinates (square XY planes only).
+	Transpose = traffic.Transpose
+	// RandomPermutation pairs every rank with a distinct random partner.
+	RandomPermutation = traffic.RandomPermutation
+	// HotSpot sends every rank's message to one root (incast).
+	HotSpot = traffic.HotSpot
+	// RandomSubset sends each rank one message to K distinct random peers.
+	RandomSubset = traffic.RandomSubset
+)
+
+// PatternOptions configures RunPattern.
+type PatternOptions = traffic.Options
+
+// PatternResult reports a RunPattern run.
+type PatternResult = traffic.Result
+
+// RunPattern executes a many-to-many pattern on the simulated torus.
+func RunPattern(p Pattern, opts PatternOptions) (PatternResult, error) {
+	return traffic.Run(p, opts)
+}
