@@ -7,10 +7,15 @@
 //	aabench -exp all               # everything (long)
 //	aabench -exp table3 -full      # true machine sizes (hours)
 //	aabench -exp fig6 -csv         # CSV series instead of ASCII
+//	aabench -exp table2 -j 4       # limit the worker pool to 4 cores
 //
 // By default partitions larger than -maxnodes (1024) are scaled down by
 // halving every dimension, preserving the aspect ratio that drives the
 // paper's phenomena; rows are annotated with the simulated size.
+//
+// Rows of an experiment are independent simulations and run concurrently on
+// all cores (-j overrides; -j 1 is serial). Output is byte-identical at any
+// worker count. Per-row progress goes to stderr so stdout stays clean.
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 	"time"
 
 	"alltoall/internal/experiments"
+	"alltoall/internal/parallel"
 )
 
 func main() {
@@ -29,6 +35,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "randomization seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of ASCII tables")
 	large := flag.Int("large", 0, "override the large-message payload bytes")
+	workers := flag.Int("j", 0, "parallel workers per experiment (0 = all cores, 1 = serial)")
+	quiet := flag.Bool("quiet", false, "suppress per-row progress lines on stderr")
 	flag.Parse()
 
 	if *exp == "" {
@@ -41,6 +49,10 @@ func main() {
 		MaxNodes:   *maxNodes,
 		Seed:       *seed,
 		LargeBytes: *large,
+		Workers:    *workers,
+	}
+	if !*quiet {
+		cfg.Progress = os.Stderr
 	}
 	ids := []string{*exp}
 	if *exp == "all" {
@@ -52,6 +64,8 @@ func main() {
 			fmt.Fprintf(os.Stderr, "aabench: unknown experiment %q (have %v)\n", id, experiments.Order)
 			os.Exit(2)
 		}
+		metrics := &experiments.Metrics{}
+		cfg.Metrics = metrics
 		start := time.Now()
 		table, err := runner(cfg)
 		if err != nil {
@@ -71,7 +85,11 @@ func main() {
 				fmt.Fprintf(os.Stderr, "aabench: %v\n", err)
 				os.Exit(1)
 			}
-			fmt.Printf("[%s completed in %s]\n\n", id, time.Since(start).Round(time.Millisecond))
+			elapsed := time.Since(start)
+			ev := float64(metrics.Events())
+			fmt.Printf("[%s completed in %s: %d workers, %d runs, %.1fM events, %.2fM events/s]\n\n",
+				id, elapsed.Round(time.Millisecond), parallel.Workers(*workers),
+				metrics.Runs(), ev/1e6, ev/1e6/elapsed.Seconds())
 		}
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"alltoall"
 )
@@ -53,6 +54,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "aasim: %v\n", err)
 		os.Exit(2)
 	}
+	start := time.Now()
 	res, err := alltoall.Run(alltoall.Strategy(*strat), alltoall.Options{
 		Shape:     shape,
 		MsgBytes:  *msg,
@@ -64,6 +66,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "aasim: %v\n", err)
 		os.Exit(1)
 	}
+	elapsed := time.Since(start)
 	calib := alltoall.DefaultCalib()
 	fmt.Printf("strategy        %s\n", res.Strategy)
 	fmt.Printf("partition       %v (%d nodes)\n", res.Shape, res.Shape.P())
@@ -75,6 +78,8 @@ func main() {
 	fmt.Printf("packets         %d (%d wire bytes)\n", res.PacketsInjected, res.WireBytes)
 	fmt.Printf("mean latency    %.0f units = %.1f us\n", res.MeanLatencyUnits, calib.Seconds(res.MeanLatencyUnits)*1e6)
 	fmt.Printf("link util       mean %.2f max %.2f\n", res.MeanLinkUtil, res.MaxLinkUtil)
+	fmt.Printf("simulated in    %s (%d events, %.2fM events/s)\n",
+		elapsed.Round(time.Millisecond), res.Events, float64(res.Events)/1e6/elapsed.Seconds())
 	if res.Strategy == alltoall.TPS {
 		fmt.Printf("TPS linear dim  %v\n", res.TPSLinearDim)
 	}

@@ -1,0 +1,83 @@
+package collective
+
+import (
+	"reflect"
+	"testing"
+
+	"alltoall/internal/torus"
+)
+
+// TestNetCacheDeterminism is the load-bearing property of Network.Reset:
+// recycling a network across runs must yield byte-identical Results to
+// building a fresh network every time, for every strategy and across
+// message sizes. Sweeps and the parallel experiment engine rely on this.
+func TestNetCacheDeterminism(t *testing.T) {
+	shape := torus.New(4, 4, 2)
+	cache := &NetCache{}
+	for _, strat := range Strategies() {
+		for _, m := range []int{8, 240} {
+			fresh, err := Run(strat, Options{Shape: shape, MsgBytes: m, Seed: 5})
+			if err != nil {
+				t.Fatalf("%s m=%d fresh: %v", strat, m, err)
+			}
+			cached, err := Run(strat, Options{Shape: shape, MsgBytes: m, Seed: 5, Cache: cache})
+			if err != nil {
+				t.Fatalf("%s m=%d cached: %v", strat, m, err)
+			}
+			cached.Shape = fresh.Shape // identical by construction
+			if !reflect.DeepEqual(fresh, cached) {
+				t.Errorf("%s m=%d: cached run diverged from fresh run\nfresh:  %+v\ncached: %+v",
+					strat, m, fresh, cached)
+			}
+		}
+	}
+	if cache.nw == nil {
+		t.Fatal("cache never populated")
+	}
+}
+
+// TestNetCacheAfterError ensures a network abandoned mid-run (MaxTime
+// exceeded) is still fully recycled by Reset: the ablation grid hits this
+// path whenever a collapsed variant precedes a healthy one on a worker.
+func TestNetCacheAfterError(t *testing.T) {
+	shape := torus.New(4, 4, 2)
+	cache := &NetCache{}
+	fresh, err := RunAR(Options{Shape: shape, MsgBytes: 240, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunAR(Options{Shape: shape, MsgBytes: 240, Seed: 3, Cache: cache, MaxTime: 50}); err == nil {
+		t.Fatal("MaxTime=50 run unexpectedly completed")
+	}
+	cached, err := RunAR(Options{Shape: shape, MsgBytes: 240, Seed: 3, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fresh, cached) {
+		t.Errorf("run after aborted cached run diverged:\nfresh:  %+v\ncached: %+v", fresh, cached)
+	}
+}
+
+// TestNetCacheCrossShape ensures a cache survives shape changes by falling
+// back to allocation (and re-caching the new shape).
+func TestNetCacheCrossShape(t *testing.T) {
+	cache := &NetCache{}
+	shapes := []torus.Shape{torus.New(4, 2, 1), torus.New(4, 4, 1), torus.New(4, 2, 1)}
+	var want []Result
+	for _, s := range shapes {
+		r, err := RunAR(Options{Shape: s, MsgBytes: 64, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, r)
+	}
+	for i, s := range shapes {
+		r, err := RunAR(Options{Shape: s, MsgBytes: 64, Seed: 2, Cache: cache})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(r, want[i]) {
+			t.Errorf("shape %v via cache diverged:\nfresh:  %+v\ncached: %+v", s, want[i], r)
+		}
+	}
+}

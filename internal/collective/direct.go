@@ -115,7 +115,7 @@ func runDirect(opts Options, strat Strategy, det, throttle bool, alpha int64) (R
 			opts.pacer(throttle))
 	}
 	h := &directHandler{recvPayload: make([]int64, p)}
-	nw, err := network.New(opts.Shape, opts.Par, sources, h)
+	nw, err := opts.network(sources, h)
 	if err != nil {
 		return Result{}, err
 	}

@@ -80,6 +80,13 @@ type Options struct {
 	// default based on the peak time).
 	MaxTime int64
 
+	// Cache, when non-nil, lets Run recycle the simulation network across
+	// runs that share a shape and machine parameters (message-size sweeps):
+	// the network is Reset instead of rebuilt, reusing its router, queue,
+	// packet-pool, and event-heap allocations. A cache must not be shared
+	// between concurrent runs; give each worker goroutine its own.
+	Cache *NetCache
+
 	// DebugDump, when non-empty, names a file to which the full network
 	// state is written if a run stalls or exceeds MaxTime (diagnostics).
 	DebugDump string
@@ -136,6 +143,34 @@ func (o *Options) dumpOnError(nw *network.Network, err error) {
 	nw.DumpState(f)
 }
 
+// NetCache is a one-slot cache of a simulation network. Sweeps that revisit
+// one (shape, params) configuration at many message sizes pass the same
+// cache through Options so each point reuses the previous network's
+// allocations via Network.Reset. The zero value is ready to use.
+type NetCache struct {
+	nw *network.Network
+}
+
+// network returns a simulator for this run, recycling the cached instance
+// when its shape and parameters match and allocating (and caching) a fresh
+// one otherwise.
+func (o *Options) network(sources []network.Source, h network.Handler) (*network.Network, error) {
+	if c := o.Cache; c != nil && c.nw != nil && c.nw.Shape == o.Shape && c.nw.Par == o.Par {
+		if err := c.nw.Reset(sources, h); err != nil {
+			return nil, err
+		}
+		return c.nw, nil
+	}
+	nw, err := network.New(o.Shape, o.Par, sources, h)
+	if err != nil {
+		return nil, err
+	}
+	if o.Cache != nil {
+		o.Cache.nw = nw
+	}
+	return nw, nil
+}
+
 // pacer builds the injection governor for this run; strict drops the burst
 // window (the Throttle strategy).
 func (o *Options) pacer(strict bool) pacer {
@@ -165,6 +200,7 @@ type Result struct {
 	PacketsInjected int64
 	WireBytes       int64
 	PayloadBytes    int64 // total application payload delivered
+	Events          int64 // simulator events processed (perf accounting)
 
 	MeanLatencyUnits float64 // mean final-packet injection-to-delivery latency
 	MaxLinkUtil      float64
@@ -205,6 +241,7 @@ func (o *Options) finishResult(r *Result, t int64, st *network.Stats) {
 	}
 	r.PerNodeMBs = model.PerNodeBandwidth(o.Calib, o.Shape, o.MsgBytes, float64(t))
 	if st != nil {
+		r.Events += st.Events()
 		r.PacketsInjected += st.PacketsInjected
 		r.WireBytes += st.WireBytesInjected
 		r.PayloadBytes += st.FinalPayload

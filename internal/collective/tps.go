@@ -193,7 +193,7 @@ func RunTPS(opts Options) (Result, error) {
 		}
 	}
 	h := &tpsHandler{recvPayload: make([]int64, p), forwarded: make([]int64, p)}
-	nw, err := network.New(shape, opts.Par, sources, h)
+	nw, err := opts.network(sources, h)
 	if err != nil {
 		return Result{}, err
 	}

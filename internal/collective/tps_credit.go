@@ -264,7 +264,7 @@ func runTPSCredit(opts Options, linear torus.Dim) (Result, error) {
 		pending:    make([]map[int32]int, p),
 		creditSz:   network.MinPacketBytes,
 	}
-	nw, err := network.New(shape, opts.Par, sources, h)
+	nw, err := opts.network(sources, h)
 	if err != nil {
 		return Result{}, err
 	}

@@ -142,7 +142,7 @@ func RunVMesh(opts Options) (Result, error) {
 		}
 	}
 	h1 := &directHandler{recvPayload: make([]int64, p)}
-	nw1, err := network.New(shape, opts.Par, src1, h1)
+	nw1, err := opts.network(src1, h1)
 	if err != nil {
 		return Result{}, err
 	}
@@ -158,6 +158,13 @@ func RunVMesh(opts Options) (Result, error) {
 				shape, n, h1.recvPayload[n], want1)
 		}
 	}
+	// Capture phase-1 measurements now: building the phase-2 network below
+	// may recycle (Reset) this one when a cache is in use, zeroing its stats.
+	st1 := nw1.Stats()
+	ev1 := st1.Events()
+	pkts1 := st1.PacketsInjected
+	wire1 := st1.WireBytesInjected
+	linkBusy1 := maxI64(st1.LinkBusy)
 
 	// Phase 2: column exchange. Virtual node (r, c) sends to (r', c) for
 	// r' != r a message with the blocks (from all Pvx row members) for that
@@ -182,7 +189,7 @@ func RunVMesh(opts Options) (Result, error) {
 		}
 	}
 	h2 := &directHandler{recvPayload: make([]int64, p)}
-	nw2, err := network.New(shape, opts.Par, src2, h2)
+	nw2, err := opts.network(src2, h2)
 	if err != nil {
 		return Result{}, err
 	}
@@ -199,19 +206,20 @@ func RunVMesh(opts Options) (Result, error) {
 		}
 	}
 
-	st1, st2 := nw1.Stats(), nw2.Stats()
+	st2 := nw2.Stats()
 	r := opts.newResult(StratVMesh)
 	r.VMeshCols, r.VMeshRows = pvx, pvy
 	r.PhaseTimes = []int64{t1, t2}
 	opts.finishResult(&r, t1+t2, nil)
-	r.PacketsInjected = st1.PacketsInjected + st2.PacketsInjected
-	r.WireBytes = st1.WireBytesInjected + st2.WireBytesInjected
+	r.Events = ev1 + st2.Events()
+	r.PacketsInjected = pkts1 + st2.PacketsInjected
+	r.WireBytes = wire1 + st2.WireBytesInjected
 	// Every pair's m application bytes are delivered (directly in phase 1
 	// for row mates, via phase 2 otherwise).
 	r.PayloadBytes = int64(p) * int64(p-1) * int64(opts.MsgBytes)
 	r.MeanLatencyUnits = st2.MeanLatency()
 	if t1+t2 > 0 {
-		r.MaxLinkUtil = float64(maxI64(st1.LinkBusy)+maxI64(st2.LinkBusy)) / float64(t1+t2)
+		r.MaxLinkUtil = float64(linkBusy1+maxI64(st2.LinkBusy)) / float64(t1+t2)
 	}
 	return r, nil
 }

@@ -148,7 +148,7 @@ func RunXYZ(opts Options) (Result, error) {
 		}
 	}
 	h := &xyzHandler{shape: shape, recvPayload: make([]int64, p)}
-	nw, err := network.New(shape, opts.Par, sources, h)
+	nw, err := opts.network(sources, h)
 	if err != nil {
 		return Result{}, err
 	}

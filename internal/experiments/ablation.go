@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"time"
+
 	"alltoall/internal/collective"
 	"alltoall/internal/network"
 	"alltoall/internal/report"
@@ -9,7 +11,9 @@ import (
 
 // Ablate quantifies the simulator's modeling decisions (DESIGN.md section
 // "Modeling decisions forced by packet-atomic simulation") on one symmetric
-// and one asymmetric partition. Each row disables one mechanism.
+// and one asymmetric partition. Each row disables one mechanism; the
+// (variant, shape) grid is flattened onto the worker pool since every cell
+// is an independent run.
 func Ablate(cfg Config) (*report.Table, error) {
 	type variant struct {
 		name string
@@ -42,25 +46,40 @@ func Ablate(cfg Config) (*report.Table, error) {
 	}
 	sym, _ := cfg.scale(torus.New(8, 8, 8))
 	asym, _ := cfg.scale(torus.New(8, 8, 16))
+	shapes := []torus.Shape{sym, asym}
 	t := report.NewTable("Ablation: AR percent of peak with one mechanism disabled per row",
 		"Variant", sym.String()+" %", asym.String()+" %")
-	for _, v := range variants {
-		row := []any{v.name}
-		for _, shape := range []torus.Shape{sym, asym} {
-			opts := cfg.opts(shape, cfg.largeFor(shape))
-			v.mut(&opts)
-			// A variant that cannot reach 12.5% of peak has collapsed;
-			// cutting it off keeps the jam-regime rows from running for
-			// hours.
-			opts.MaxTime = int64(shape.PeakTime(opts.MsgBytes) * 8)
-			res, err := collective.RunAR(opts)
-			if err != nil {
-				row = append(row, "<12.5 (collapsed)")
-				continue
-			}
-			row = append(row, res.PercentPeak)
+	type job struct{ vi, si int }
+	jobs := make([]job, 0, len(variants)*len(shapes))
+	for vi := range variants {
+		for si := range shapes {
+			jobs = append(jobs, job{vi, si})
 		}
-		t.AddRow(row...)
+	}
+	cells, err := mapRows(cfg, jobs, func(cache *collective.NetCache, _ int, j job) (any, error) {
+		start := time.Now()
+		shape := shapes[j.si]
+		opts := cfg.opts(shape, cfg.largeFor(shape))
+		variants[j.vi].mut(&opts)
+		// A variant that cannot reach 12.5% of peak has collapsed;
+		// cutting it off keeps the jam-regime rows from running for
+		// hours.
+		opts.MaxTime = int64(shape.PeakTime(opts.MsgBytes) * 8)
+		res, err := cfg.runCached(collective.StratAR, opts, cache)
+		if err != nil {
+			cfg.rowProgress("  ablate %s on %v: collapsed (%s)",
+				variants[j.vi].name, shape, time.Since(start).Round(time.Millisecond))
+			return "<12.5 (collapsed)", nil
+		}
+		cfg.rowProgress("  ablate %s on %v: %.1f%% of peak (%s)",
+			variants[j.vi].name, shape, res.PercentPeak, time.Since(start).Round(time.Millisecond))
+		return res.PercentPeak, nil
+	})
+	if err != nil {
+		return t, err
+	}
+	for vi, v := range variants {
+		t.AddRow(v.name, cells[vi*len(shapes)], cells[vi*len(shapes)+1])
 	}
 	t.AddNote("collapsed rows exceeded 8x the Equation 2 peak time and were cut off")
 	return t, nil

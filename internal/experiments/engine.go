@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"alltoall/internal/collective"
+	"alltoall/internal/parallel"
+)
+
+// Metrics accumulates simulator work across the (possibly concurrent) runs
+// of one or more experiments: completed collective runs, simulator events
+// processed, and packets injected. All methods are safe for concurrent use;
+// a nil *Metrics discards everything.
+type Metrics struct {
+	runs    atomic.Int64
+	events  atomic.Int64
+	packets atomic.Int64
+}
+
+func (m *Metrics) note(r collective.Result) {
+	if m == nil {
+		return
+	}
+	m.runs.Add(1)
+	m.events.Add(r.Events)
+	m.packets.Add(r.PacketsInjected)
+}
+
+// Runs returns the number of completed collective runs.
+func (m *Metrics) Runs() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.runs.Load()
+}
+
+// Events returns the total simulator events processed.
+func (m *Metrics) Events() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.events.Load()
+}
+
+// Packets returns the total packets injected.
+func (m *Metrics) Packets() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.packets.Load()
+}
+
+// progressMu serializes per-row progress lines from concurrent workers so
+// they never interleave mid-line, even across experiments.
+var progressMu sync.Mutex
+
+// rowProgress emits one progress line to cfg.Progress, if set.
+func (c Config) rowProgress(format string, args ...any) {
+	if c.Progress == nil {
+		return
+	}
+	progressMu.Lock()
+	defer progressMu.Unlock()
+	fmt.Fprintf(c.Progress, format+"\n", args...)
+}
+
+// runCached executes one collective run through a worker-local network
+// cache, recording metrics on success.
+func (c Config) runCached(strat collective.Strategy, opts collective.Options, cache *collective.NetCache) (collective.Result, error) {
+	opts.Cache = cache
+	res, err := collective.Run(strat, opts)
+	if err != nil {
+		return res, err
+	}
+	c.Metrics.note(res)
+	return res, nil
+}
+
+// mapRows fans an experiment's independent rows (or sweep points) across
+// the config's worker pool. Each worker gets a private network cache so
+// consecutive rows on one shape reuse simulator allocations; results come
+// back in row order regardless of scheduling, so rendered tables are
+// identical at any worker count.
+func mapRows[T, R any](cfg Config, items []T, fn func(cache *collective.NetCache, i int, item T) (R, error)) ([]R, error) {
+	return parallel.MapLocal(context.Background(), cfg.Workers, items,
+		func() *collective.NetCache { return &collective.NetCache{} },
+		func(_ context.Context, cache *collective.NetCache, i int, item T) (R, error) {
+			return fn(cache, i, item)
+		})
+}

@@ -7,10 +7,16 @@
 // halving every dimension (preserving the aspect ratio that drives the
 // paper's phenomena); Full disables scaling and simulates the true machine
 // sizes, which takes hours for the largest rows.
+//
+// Rows of each experiment are independent simulations, so they run on a
+// worker pool (Config.Workers); every run is seeded independently of
+// scheduling, making output identical at any worker count.
 package experiments
 
 import (
 	"fmt"
+	"io"
+	"time"
 
 	"alltoall/internal/collective"
 	"alltoall/internal/model"
@@ -31,6 +37,17 @@ type Config struct {
 	// LargeBytes overrides the per-pair payload used for "large message"
 	// rows (default: chosen per partition size to bound runtime).
 	LargeBytes int
+
+	// Workers bounds experiment concurrency: independent rows and sweep
+	// points fan out over this many goroutines (0 = GOMAXPROCS, 1 =
+	// serial). Tables are byte-identical at any setting.
+	Workers int
+	// Progress, when non-nil, receives one line per completed row
+	// (typically os.Stderr, so tables on stdout stay clean).
+	Progress io.Writer
+	// Metrics, when non-nil, accumulates run/event/packet counts across
+	// every collective run of the experiment.
+	Metrics *Metrics
 }
 
 func (c Config) maxNodes() int {
@@ -130,11 +147,33 @@ func shapeLabel(paper torus.Shape, run torus.Shape, scaled bool) string {
 }
 
 // runRow simulates one strategy on a (possibly scaled) partition at the
-// config's large-message size.
-func (c Config) runRow(strat collective.Strategy, paper torus.Shape) (collective.Result, string, error) {
+// config's large-message size, through the worker's network cache.
+func (c Config) runRow(cache *collective.NetCache, strat collective.Strategy, paper torus.Shape) (collective.Result, string, error) {
 	run, scaled := c.scale(paper)
-	res, err := collective.Run(strat, c.opts(run, c.largeFor(run)))
+	res, err := c.runCached(strat, c.opts(run, c.largeFor(run)), cache)
 	return res, shapeLabel(paper, run, scaled), err
+}
+
+// rowResult pairs a rendered partition label with its run.
+type rowResult struct {
+	label string
+	res   collective.Result
+}
+
+// stratRows runs one strategy across a table's partitions on the worker
+// pool, one row per partition, emitting a progress line per finished row.
+func (c Config) stratRows(name string, strat collective.Strategy, shapes []torus.Shape) ([]rowResult, error) {
+	n := len(shapes)
+	return mapRows(c, shapes, func(cache *collective.NetCache, i int, paper torus.Shape) (rowResult, error) {
+		start := time.Now()
+		res, label, err := c.runRow(cache, strat, paper)
+		if err != nil {
+			return rowResult{}, err
+		}
+		c.rowProgress("  %s %d/%d %s: %s %.1f%% of peak (%s)",
+			name, i+1, n, label, strat, res.PercentPeak, time.Since(start).Round(time.Millisecond))
+		return rowResult{label: label, res: res}, nil
+	})
 }
 
 // Table1 reproduces "All-to-all peak performance of various symmetric
@@ -151,14 +190,18 @@ func Table1(cfg Config) (*report.Table, error) {
 		{torus.New(8, 8, 8), 99.0},
 		{torus.New(16, 16, 16), 99.0},
 	}
+	shapes := make([]torus.Shape, len(rows))
+	for i, r := range rows {
+		shapes[i] = r.shape
+	}
 	t := report.NewTable("Table 1: AR percent of peak on symmetric partitions (large messages)",
 		"Partition", "Paper %", "Measured %", "MsgBytes")
-	for _, r := range rows {
-		res, label, err := cfg.runRow(collective.StratAR, r.shape)
-		if err != nil {
-			return t, err
-		}
-		t.AddRow(label, r.paper, res.PercentPeak, res.MsgBytes)
+	out, err := cfg.stratRows("table1", collective.StratAR, shapes)
+	if err != nil {
+		return t, err
+	}
+	for i, r := range rows {
+		t.AddRow(out[i].label, r.paper, out[i].res.PercentPeak, out[i].res.MsgBytes)
 	}
 	t.AddNote("measured on the packet-level simulator; expect a uniform few-percent tax versus hardware")
 	return t, nil
@@ -191,14 +234,19 @@ func table2Rows() []struct {
 // Table2 reproduces "AA performance using the AR strategy for large message
 // sizes on various processor partitions".
 func Table2(cfg Config) (*report.Table, error) {
+	rows := table2Rows()
+	shapes := make([]torus.Shape, len(rows))
+	for i, r := range rows {
+		shapes[i] = r.shape
+	}
 	t := report.NewTable("Table 2: AR percent of peak on asymmetric partitions (large messages)",
 		"Partition", "Paper %", "Measured %", "MsgBytes")
-	for _, r := range table2Rows() {
-		res, label, err := cfg.runRow(collective.StratAR, r.shape)
-		if err != nil {
-			return t, err
-		}
-		t.AddRow(label, r.paper, res.PercentPeak, res.MsgBytes)
+	out, err := cfg.stratRows("table2", collective.StratAR, shapes)
+	if err != nil {
+		return t, err
+	}
+	for i, r := range rows {
+		t.AddRow(out[i].label, r.paper, out[i].res.PercentPeak, out[i].res.MsgBytes)
 	}
 	return t, nil
 }
@@ -225,14 +273,18 @@ func Table3(cfg Config) (*report.Table, error) {
 		{torus.New(32, 32, 16), 96.8, "Z"},
 		{torus.New(40, 32, 16), 99.5, "X"},
 	}
+	shapes := make([]torus.Shape, len(rows))
+	for i, r := range rows {
+		shapes[i] = r.shape
+	}
 	t := report.NewTable("Table 3: Two Phase Schedule percent of peak (long messages)",
 		"Partition", "Paper %", "Measured %", "Paper dim", "Chosen dim")
-	for _, r := range rows {
-		res, label, err := cfg.runRow(collective.StratTPS, r.shape)
-		if err != nil {
-			return t, err
-		}
-		t.AddRow(label, r.paper, res.PercentPeak, r.dim, res.TPSLinearDim.String())
+	out, err := cfg.stratRows("table3", collective.StratTPS, shapes)
+	if err != nil {
+		return t, err
+	}
+	for i, r := range rows {
+		t.AddRow(out[i].label, r.paper, out[i].res.PercentPeak, r.dim, out[i].res.TPSLinearDim.String())
 	}
 	t.AddNote("on fully symmetric shapes any linear dimension is equivalent; the paper picked Z for 8x8x8, this implementation picks X")
 	return t, nil
@@ -241,7 +293,7 @@ func Table3(cfg Config) (*report.Table, error) {
 // Table4 reproduces the 1-byte all-to-all latency comparison between TPS
 // and AR. Latencies are reported in calibrated milliseconds; scaled
 // partitions are proportionally faster, so the comparison column is the
-// TPS/AR ratio.
+// TPS/AR ratio. Both runs of a row share the worker's cached network.
 func Table4(cfg Config) (*report.Table, error) {
 	rows := []struct {
 		shape             torus.Shape
@@ -253,30 +305,49 @@ func Table4(cfg Config) (*report.Table, error) {
 		{torus.New(8, 32, 16), 8.1, 12.4},
 		{torus.New(32, 32, 16), 35.9, 65.2},
 	}
+	type t4out struct {
+		label   string
+		tps, ar collective.Result
+	}
 	t := report.NewTable("Table 4: 1-byte all-to-all latency, TPS vs AR (ms)",
 		"Partition", "Paper TPS", "Paper AR", "Meas TPS", "Meas AR", "Paper ratio", "Meas ratio")
-	for _, r := range rows {
+	out, err := mapRows(cfg, rows, func(cache *collective.NetCache, i int, r struct {
+		shape             torus.Shape
+		paperTPS, paperAR float64
+	}) (t4out, error) {
+		start := time.Now()
 		run, scaled := cfg.scale(r.shape)
-		tps, err := collective.RunTPS(cfg.opts(run, 1))
+		tps, err := cfg.runCached(collective.StratTPS, cfg.opts(run, 1), cache)
 		if err != nil {
-			return t, err
+			return t4out{}, err
 		}
-		ar, err := collective.RunAR(cfg.opts(run, 1))
+		ar, err := cfg.runCached(collective.StratAR, cfg.opts(run, 1), cache)
 		if err != nil {
-			return t, err
+			return t4out{}, err
 		}
-		t.AddRow(shapeLabel(r.shape, run, scaled),
+		label := shapeLabel(r.shape, run, scaled)
+		cfg.rowProgress("  table4 %d/%d %s: TPS %.3fms AR %.3fms (%s)",
+			i+1, len(rows), label, tps.Seconds*1e3, ar.Seconds*1e3, time.Since(start).Round(time.Millisecond))
+		return t4out{label: label, tps: tps, ar: ar}, nil
+	})
+	if err != nil {
+		return t, err
+	}
+	for i, r := range rows {
+		t.AddRow(out[i].label,
 			r.paperTPS, r.paperAR,
-			fmt.Sprintf("%.3f", tps.Seconds*1e3), fmt.Sprintf("%.3f", ar.Seconds*1e3),
+			fmt.Sprintf("%.3f", out[i].tps.Seconds*1e3), fmt.Sprintf("%.3f", out[i].ar.Seconds*1e3),
 			fmt.Sprintf("%.2f", r.paperTPS/r.paperAR),
-			fmt.Sprintf("%.2f", tps.Seconds/ar.Seconds))
+			fmt.Sprintf("%.2f", out[i].tps.Seconds/out[i].ar.Seconds))
 	}
 	t.AddNote("the sign flip matters: TPS is slower than AR on small partitions and faster on large asymmetric ones")
 	return t, nil
 }
 
 // figSweep renders a message-size sweep of per-node throughput (MB/s) for
-// one or more strategies, with optional model columns.
+// one or more strategies, with optional model columns. The (strategy, size)
+// grid is flattened into one job list so the pool stays busy even when one
+// strategy's points dominate the runtime.
 func figSweep(cfg Config, title string, paper torus.Shape, strats []collective.Strategy,
 	sizes []int, withModel bool, vmeshCols, vmeshRows int, vmeshOrder *[3]torus.Dim) (*report.Table, error) {
 	run, scaled := cfg.scale(paper)
@@ -292,7 +363,7 @@ func figSweep(cfg Config, title string, paper torus.Shape, strats []collective.S
 	if scaled {
 		t.AddNote("partition scaled from %v to %v (node budget); aspect ratio preserved", paper, run)
 	}
-	series := make([][]sweep.Point, len(strats))
+	stratOpts := make([]collective.Options, len(strats))
 	for i, s := range strats {
 		opts := cfg.opts(run, 1)
 		if s == collective.StratVMesh && vmeshCols > 0 {
@@ -303,16 +374,38 @@ func figSweep(cfg Config, title string, paper torus.Shape, strats []collective.S
 			opts.VMeshCols, opts.VMeshRows = vc, vr
 			opts.VMeshMapOrder = vmeshOrder
 		}
-		pts, err := sweep.Messages(s, opts, sizes)
-		if err != nil {
-			return t, err
+		stratOpts[i] = opts
+	}
+	type job struct{ si, mi int }
+	jobs := make([]job, 0, len(strats)*len(sizes))
+	for si := range strats {
+		for mi := range sizes {
+			jobs = append(jobs, job{si, mi})
 		}
-		series[i] = pts
+	}
+	flat, err := mapRows(cfg, jobs, func(cache *collective.NetCache, _ int, j job) (collective.Result, error) {
+		start := time.Now()
+		opts := stratOpts[j.si]
+		opts.MsgBytes = sizes[j.mi]
+		res, err := cfg.runCached(strats[j.si], opts, cache)
+		if err != nil {
+			return res, fmt.Errorf("sweep: %s at m=%d: %w", strats[j.si], sizes[j.mi], err)
+		}
+		cfg.rowProgress("  %s m=%d: %.1f MB/s (%s)",
+			strats[j.si], sizes[j.mi], res.PerNodeMBs, time.Since(start).Round(time.Millisecond))
+		return res, nil
+	})
+	if err != nil {
+		return t, err
+	}
+	series := make([][]collective.Result, len(strats))
+	for i := range series {
+		series[i] = flat[i*len(sizes) : (i+1)*len(sizes)]
 	}
 	for j, m := range sizes {
 		row := []any{m}
 		for i := range strats {
-			r := series[i][j].Result
+			r := series[i][j]
 			row = append(row, r.PerNodeMBs, r.PercentPeak)
 		}
 		if withModel {
@@ -343,7 +436,7 @@ func Fig2(cfg Config) (*report.Table, error) {
 
 // Fig3 reproduces the per-node throughput summary across partitions: the
 // bisection-limited peak, a one-packet all-to-all, and a large-message
-// all-to-all.
+// all-to-all. Both runs of a row share the worker's cached network.
 func Fig3(cfg Config) (*report.Table, error) {
 	shapes := []torus.Shape{
 		torus.New(8, 8, 1),
@@ -354,26 +447,40 @@ func Fig3(cfg Config) (*report.Table, error) {
 		torus.New(16, 16, 16),
 	}
 	calib := model.DefaultCalib()
+	type f3out struct {
+		label         string
+		onePkt, large collective.Result
+		run           torus.Shape
+	}
 	t := report.NewTable("Figure 3: AR per-node throughput (MB/s) by partition",
 		"Partition", "Peak bisection", "1-packet AA", "Large-message AA")
-	for _, paper := range shapes {
+	out, err := mapRows(cfg, shapes, func(cache *collective.NetCache, i int, paper torus.Shape) (f3out, error) {
+		start := time.Now()
 		run, scaled := cfg.scale(paper)
-		onePkt, err := collective.RunAR(cfg.opts(run, 240))
+		onePkt, err := cfg.runCached(collective.StratAR, cfg.opts(run, 240), cache)
 		if err != nil {
-			return t, err
+			return f3out{}, err
 		}
-		large, err := collective.RunAR(cfg.opts(run, cfg.largeFor(run)))
+		large, err := cfg.runCached(collective.StratAR, cfg.opts(run, cfg.largeFor(run)), cache)
 		if err != nil {
-			return t, err
+			return f3out{}, err
 		}
-		t.AddRow(shapeLabel(paper, run, scaled),
-			model.PeakPerNodeBandwidth(calib, run), onePkt.PerNodeMBs, large.PerNodeMBs)
+		label := shapeLabel(paper, run, scaled)
+		cfg.rowProgress("  fig3 %d/%d %s (%s)", i+1, len(shapes), label, time.Since(start).Round(time.Millisecond))
+		return f3out{label: label, onePkt: onePkt, large: large, run: run}, nil
+	})
+	if err != nil {
+		return t, err
+	}
+	for _, o := range out {
+		t.AddRow(o.label, model.PeakPerNodeBandwidth(calib, o.run), o.onePkt.PerNodeMBs, o.large.PerNodeMBs)
 	}
 	return t, nil
 }
 
 // Fig4 reproduces the direct-strategy comparison (AR, DR, throttled AR)
-// across partition shapes, including DR's dimension-order dependence.
+// across partition shapes, including DR's dimension-order dependence. The
+// three runs of a row share the worker's cached network.
 func Fig4(cfg Config) (*report.Table, error) {
 	shapes := []torus.Shape{
 		torus.New(8, 8, 8),
@@ -383,24 +490,37 @@ func Fig4(cfg Config) (*report.Table, error) {
 		torus.New(8, 16, 16),
 		torus.New(8, 32, 16),
 	}
+	type f4out struct {
+		label      string
+		ar, dr, th collective.Result
+	}
 	t := report.NewTable("Figure 4: percent of peak for direct strategies (large messages)",
 		"Partition", "AR %", "DR %", "Throttled %")
-	for _, paper := range shapes {
+	out, err := mapRows(cfg, shapes, func(cache *collective.NetCache, i int, paper torus.Shape) (f4out, error) {
+		start := time.Now()
 		run, scaled := cfg.scale(paper)
 		m := cfg.largeFor(run)
-		ar, err := collective.RunAR(cfg.opts(run, m))
+		ar, err := cfg.runCached(collective.StratAR, cfg.opts(run, m), cache)
 		if err != nil {
-			return t, err
+			return f4out{}, err
 		}
-		dr, err := collective.RunDR(cfg.opts(run, m))
+		dr, err := cfg.runCached(collective.StratDR, cfg.opts(run, m), cache)
 		if err != nil {
-			return t, err
+			return f4out{}, err
 		}
-		th, err := collective.RunThrottled(cfg.opts(run, m))
+		th, err := cfg.runCached(collective.StratThrottle, cfg.opts(run, m), cache)
 		if err != nil {
-			return t, err
+			return f4out{}, err
 		}
-		t.AddRow(shapeLabel(paper, run, scaled), ar.PercentPeak, dr.PercentPeak, th.PercentPeak)
+		label := shapeLabel(paper, run, scaled)
+		cfg.rowProgress("  fig4 %d/%d %s (%s)", i+1, len(shapes), label, time.Since(start).Round(time.Millisecond))
+		return f4out{label: label, ar: ar, dr: dr, th: th}, nil
+	})
+	if err != nil {
+		return t, err
+	}
+	for _, o := range out {
+		t.AddRow(o.label, o.ar.PercentPeak, o.dr.PercentPeak, o.th.PercentPeak)
 	}
 	t.AddNote("DR should lead AR when the longest dimension is X (deterministic routing starts packets on X links)")
 	return t, nil
@@ -418,15 +538,23 @@ func Fig5(cfg Config) (*report.Table, error) {
 	if scaled {
 		t.AddNote("partition scaled from %v to %v", paper, run)
 	}
-	for _, m := range sweep.MessageSizes(1, 512) {
+	sizes := sweep.MessageSizes(1, 512)
+	out, err := mapRows(cfg, sizes, func(cache *collective.NetCache, _ int, m int) (collective.Result, error) {
 		opts := cfg.opts(run, m)
 		opts.VMeshCols, opts.VMeshRows = vc, vr
-		res, err := collective.RunVMesh(opts)
+		res, err := cfg.runCached(collective.StratVMesh, opts, cache)
 		if err != nil {
-			return t, err
+			return res, err
 		}
+		cfg.rowProgress("  fig5 m=%d: %.1f MB/s", m, res.PerNodeMBs)
+		return res, nil
+	})
+	if err != nil {
+		return t, err
+	}
+	for j, m := range sizes {
 		pred := model.VMeshTime(calib, run, vc, vr, m)
-		t.AddRow(m, res.PerNodeMBs, model.PerNodeBandwidth(calib, run, m, pred))
+		t.AddRow(m, out[j].PerNodeMBs, model.PerNodeBandwidth(calib, run, m, pred))
 	}
 	return t, nil
 }

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"alltoall/internal/collective"
+)
+
+// render runs one catalog entry and returns the ASCII table.
+func render(t *testing.T, id string, cfg Config) string {
+	t.Helper()
+	tbl, err := Catalog[id](cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	var b strings.Builder
+	if err := tbl.Write(&b); err != nil {
+		t.Fatalf("%s render: %v", id, err)
+	}
+	return b.String()
+}
+
+// TestSerialParallelIdentical is the engine's determinism regression test:
+// rendered tables must be byte-identical at 1 worker and at 8, for a plain
+// table, a multi-run-per-row table, and a flattened error-tolerant grid.
+func TestSerialParallelIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	for _, id := range []string{"table1", "table4", "ablate"} {
+		serial := tiny()
+		serial.Workers = 1
+		par := tiny()
+		par.Workers = 8
+		s := render(t, id, serial)
+		p := render(t, id, par)
+		if s != p {
+			t.Errorf("%s: 8-worker table differs from serial\n-- serial --\n%s\n-- parallel --\n%s", id, s, p)
+		}
+	}
+}
+
+// TestMetricsAndProgress checks the engine's observability side channels:
+// metrics count every run and progress lines arrive once per row.
+func TestMetricsAndProgress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	var buf strings.Builder
+	cfg := tiny()
+	cfg.Workers = 4
+	cfg.Metrics = &Metrics{}
+	cfg.Progress = &buf
+	if _, err := Table1(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.Metrics.Runs(); got != 6 {
+		t.Errorf("Runs() = %d, want 6 (one per Table 1 row)", got)
+	}
+	if cfg.Metrics.Events() <= 0 || cfg.Metrics.Packets() <= 0 {
+		t.Errorf("Events() = %d, Packets() = %d; want positive",
+			cfg.Metrics.Events(), cfg.Metrics.Packets())
+	}
+	lines := strings.Count(buf.String(), "\n")
+	if lines != 6 {
+		t.Errorf("progress lines = %d, want 6\n%s", lines, buf.String())
+	}
+	// A nil Metrics must be safe everywhere.
+	var nilM *Metrics
+	nilM.note(collective.Result{})
+	if nilM.Runs() != 0 || nilM.Events() != 0 || nilM.Packets() != 0 {
+		t.Error("nil Metrics returned nonzero counts")
+	}
+}

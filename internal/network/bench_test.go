@@ -33,6 +33,41 @@ func BenchmarkSimulatorHops(b *testing.B) {
 	b.ReportMetric(float64(totalHops)/b.Elapsed().Seconds(), "hops/s")
 }
 
+// BenchmarkNetworkRun measures end-to-end run throughput when the network
+// is recycled with Reset between runs (the sweep engine's hot path): one
+// allocation-free simulation per iteration.
+func BenchmarkNetworkRun(b *testing.B) {
+	b.ReportAllocs()
+	shape := torus.New(8, 8, 4)
+	p := shape.P()
+	mkSrcs := func() []Source {
+		srcs := make([]Source, p)
+		for n := 0; n < p; n++ {
+			srcs[n] = &allToAllSource{self: int32(n), p: int32(p), size: 256}
+		}
+		return srcs
+	}
+	nw, err := New(shape, DefaultParams(), mkSrcs(), countOnly{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := nw.Run(1 << 42); err != nil {
+		b.Fatal(err)
+	}
+	var events int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := nw.Reset(mkSrcs(), countOnly{}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := nw.Run(1 << 42); err != nil {
+			b.Fatal(err)
+		}
+		events += nw.Stats().Events()
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+}
+
 // BenchmarkEventHeap measures the raw event queue.
 func BenchmarkEventHeap(b *testing.B) {
 	b.ReportAllocs()

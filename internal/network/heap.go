@@ -1,60 +1,105 @@
 package network
 
-// event is a scheduled simulator action. Kept small (24 bytes) for heap
-// throughput; the binary heap is hand-rolled to avoid container/heap
-// interface dispatch in the hot loop.
+// event is a scheduled simulator action, packed to 16 bytes for heap
+// throughput: the heap moves events by value, so smaller structs mean fewer
+// copied bytes per sift level. key packs (node, kind, arg) into one word
+// (node in the high 30 bits, kind in the next 2, arg in the low 32), which
+// also makes the tie-break comparison a single machine compare.
 type event struct {
-	t    int64
-	node int32
-	a    int32
-	kind uint8
+	t   int64
+	key uint64
 }
 
 const (
-	evArrive  = iota // packet a finishes traversing a link into node
+	evArrive  = iota // packet arg finishes traversing a link into node
 	evService        // run router arbitration at node
 	evCPUKick        // re-poll the node's CPU (throttle wait expiry)
 )
 
+func mkEvent(t int64, node, a int32, kind uint8) event {
+	return event{t: t, key: uint64(uint32(node))<<34 | uint64(kind)<<32 | uint64(uint32(a))}
+}
+
+func (e event) node() int32 { return int32(e.key >> 34) }
+func (e event) kind() uint8 { return uint8(e.key>>32) & 3 }
+func (e event) arg() int32  { return int32(uint32(e.key)) }
+
+// less orders events by time, breaking ties on (node, kind, arg) via the
+// packed key. The strict total order makes the pop sequence a pure function
+// of the pushed multiset - every pop returns the unique minimum of the
+// current contents - so simulation results cannot shift when the heap's
+// internal structure (e.g. its arity) changes, and two events that compare
+// equal are byte-identical and interchangeable.
+func less(a, b event) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.key < b.key
+}
+
+// eventHeap is a 4-ary min-heap of events, hand-rolled to avoid
+// container/heap interface dispatch in the hot loop. The wider fan-out
+// halves the sift depth versus a binary heap; with the multi-million-event
+// queues of large partitions the extra sibling comparisons per level are
+// cheaper than the deeper (cache-missing) traversal.
 type eventHeap struct {
 	ev []event
 }
 
+const heapArity = 4
+
 func (h *eventHeap) len() int { return len(h.ev) }
 
+// reset discards all pending events, keeping the backing array.
+func (h *eventHeap) reset() { h.ev = h.ev[:0] }
+
+// push sifts the hole up (one copy per level, not a swap).
 func (h *eventHeap) push(e event) {
 	h.ev = append(h.ev, e)
 	i := len(h.ev) - 1
 	for i > 0 {
-		parent := (i - 1) / 2
-		if h.ev[parent].t <= h.ev[i].t {
+		parent := (i - 1) / heapArity
+		pe := h.ev[parent]
+		if !less(e, pe) {
 			break
 		}
-		h.ev[parent], h.ev[i] = h.ev[i], h.ev[parent]
+		h.ev[i] = pe
 		i = parent
 	}
+	h.ev[i] = e
 }
 
+// pop sifts the displaced tail element down as a hole (one copy per level).
 func (h *eventHeap) pop() event {
 	top := h.ev[0]
 	last := len(h.ev) - 1
-	h.ev[0] = h.ev[last]
+	e := h.ev[last]
 	h.ev = h.ev[:last]
+	if last == 0 {
+		return top
+	}
 	i := 0
 	for {
-		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < last && h.ev[l].t < h.ev[smallest].t {
-			smallest = l
-		}
-		if r < last && h.ev[r].t < h.ev[smallest].t {
-			smallest = r
-		}
-		if smallest == i {
+		first := heapArity*i + 1
+		if first >= last {
 			break
 		}
-		h.ev[i], h.ev[smallest] = h.ev[smallest], h.ev[i]
+		end := first + heapArity
+		if end > last {
+			end = last
+		}
+		smallest, se := first, h.ev[first]
+		for c := first + 1; c < end; c++ {
+			if ce := h.ev[c]; less(ce, se) {
+				smallest, se = c, ce
+			}
+		}
+		if !less(se, e) {
+			break
+		}
+		h.ev[i] = se
 		i = smallest
 	}
+	h.ev[i] = e
 	return top
 }

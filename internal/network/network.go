@@ -253,6 +253,69 @@ func New(shape torus.Shape, par Params, sources []Source, handler Handler) (*Net
 	return nw, nil
 }
 
+// Reset returns the network to its initial state for a fresh run on the same
+// shape and parameters, reusing the router, queue, packet-pool, and event-
+// heap allocations of the previous run. Sweeps that revisit one shape at
+// many message sizes avoid rebuilding the whole machine at every point.
+// sources and handler follow the same rules as New.
+func (nw *Network) Reset(sources []Source, handler Handler) error {
+	if handler == nil {
+		return fmt.Errorf("network: nil handler")
+	}
+	if sources != nil && len(sources) != nw.P {
+		return fmt.Errorf("network: %d sources for %d nodes", len(sources), nw.P)
+	}
+	nw.sources = sources
+	nw.handler = handler
+	nw.activeSrc = 0
+	nw.inFlight = 0
+	nw.now = 0
+	nw.pkts = nw.pkts[:0]
+	nw.freePkt = -1
+	nw.evq.reset()
+	nw.stats.reset()
+	for n := 0; n < nw.P; n++ {
+		r := &nw.routers[n]
+		for d := 0; d < numDirs; d++ {
+			r.out[d] = 0
+			if r.nbr[d] < 0 {
+				continue
+			}
+			for vc := 0; vc < NumVC; vc++ {
+				r.in[d][vc].reset()
+				r.tok[d][vc] = nw.Par.VCBytes
+			}
+		}
+		for i := range r.inj {
+			r.inj[i].reset()
+		}
+		r.recv.reset()
+		r.pendingFw = r.pendingFw[:0]
+		r.pendSrc = PacketSpec{}
+		r.pendValid = false
+		r.cpuBusy = false
+		r.cpuEnd = 0
+		r.cpuToggle = false
+		r.curOp = opNone
+		r.curPkt = 0
+		r.curSpec = PacketSpec{}
+		r.curFw = r.curFw[:0]
+		r.curFinal = false
+		r.svcPending = false
+		r.svcAt = 0
+		r.svcMask = 0
+		r.occMask = 0
+		r.rrCursor = 0
+		if sources != nil && sources[n] != nil {
+			r.srcDone = false
+			nw.activeSrc++
+		} else {
+			r.srcDone = true
+		}
+	}
+	return nil
+}
+
 // Now returns the current simulation time.
 func (nw *Network) Now() int64 { return nw.now }
 
@@ -314,23 +377,25 @@ func (nw *Network) Run(maxTime int64) (int64, error) {
 			return 0, fmt.Errorf("network: exceeded max time %d (in flight %d, active sources %d)",
 				maxTime, nw.inFlight, nw.activeSrc)
 		}
-		nw.stats.EventsByKind[e.kind]++
-		switch e.kind {
+		kind := e.kind()
+		node := e.node()
+		nw.stats.EventsByKind[kind]++
+		switch kind {
 		case evArrive:
-			nw.arrive(e.node, e.a)
+			nw.arrive(node, e.arg())
 		case evService:
-			r := &nw.routers[e.node]
-			mask := uint8(e.a)
+			r := &nw.routers[node]
+			mask := uint8(e.arg())
 			if r.svcPending && r.svcAt <= e.t {
 				mask |= r.svcMask
 				r.svcPending = false
 				r.svcMask = 0
 			}
 			if mask != 0 {
-				nw.service(e.node, mask)
+				nw.service(node, mask)
 			}
 		case evCPUKick:
-			nw.cpuDoneOrKick(e.node)
+			nw.cpuDoneOrKick(node)
 		}
 	}
 	if nw.inFlight != 0 || nw.activeSrc != 0 {
@@ -479,7 +544,7 @@ func (nw *Network) scheduleService(node int32, t int64, mask uint8) {
 	r.svcPending = true
 	r.svcAt = t
 	r.svcMask |= mask
-	nw.evq.push(event{t: t, node: node, kind: evService})
+	nw.evq.push(mkEvent(t, node, 0, evService))
 }
 
 // service runs router arbitration at a node until no packet can move,
@@ -652,11 +717,11 @@ func (nw *Network) tryRoute(node int32, r *router, pid int32, p *packet, freeMas
 	if p.want != 0 && !nw.Par.StoreForward {
 		eta = nw.now + PacketGranule + nw.Par.RouterDelay
 	}
-	nw.evq.push(event{t: eta, node: r.nbr[o], a: pid, kind: evArrive})
+	nw.evq.push(mkEvent(eta, r.nbr[o], pid, evArrive))
 	// The link-free wakeup is a hard deadline: an earlier coalesced pass
 	// would find the link still busy and discover nothing, so push it
 	// unconditionally with its direction bit.
-	nw.evq.push(event{t: r.out[o], node: node, a: 1 << o, kind: evService})
+	nw.evq.push(mkEvent(r.out[o], node, 1<<o, evService))
 	return o
 }
 
@@ -735,7 +800,7 @@ func (nw *Network) tryInjectOp(node int32, r *router) bool {
 			nw.activeSrc--
 			return false
 		case SrcWait:
-			nw.evq.push(event{t: when, node: node, kind: evCPUKick})
+			nw.evq.push(mkEvent(when, node, 0, evCPUKick))
 			return false
 		case SrcReady:
 			r.pendSrc = spec
@@ -762,7 +827,7 @@ func (nw *Network) startCPUOp(node int32, r *router, cost int64) {
 	r.cpuToggle = !r.cpuToggle
 	r.cpuEnd = nw.now + cost
 	nw.stats.CPUBusy[node] += cost
-	nw.evq.push(event{t: r.cpuEnd, node: node, kind: evCPUKick})
+	nw.evq.push(mkEvent(r.cpuEnd, node, 0, evCPUKick))
 }
 
 // cpuDoneOrKick completes the current CPU operation (if one is running and

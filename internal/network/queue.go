@@ -1,10 +1,16 @@
 package network
 
+import "math/bits"
+
 // pktQueue is a fixed-capacity FIFO of packet ids with byte accounting.
 // Capacity is expressed in bytes; the slot array is sized for the worst case
-// of minimum-size packets so a byte-accepted push never lacks a slot.
+// of minimum-size packets so a byte-accepted push never lacks a slot. Slot
+// counts are rounded up to a power of two so ring indexing is a mask rather
+// than a division; admission is still governed by the byte budget, which for
+// minimum-size packets binds no later than the pre-rounding slot count.
 type pktQueue struct {
 	buf      []int32
+	mask     int32
 	head     int32
 	count    int32
 	bytes    int32
@@ -16,10 +22,16 @@ func newPktQueue(capBytes int32) pktQueue {
 	if slots < 1 {
 		slots = 1
 	}
-	return pktQueue{buf: make([]int32, slots), capBytes: capBytes}
+	slots = int32(1) << bits.Len32(uint32(slots-1))
+	return pktQueue{buf: make([]int32, slots), mask: slots - 1, capBytes: capBytes}
 }
 
 func (q *pktQueue) empty() bool { return q.count == 0 }
+
+// reset discards all contents, keeping the slot array.
+func (q *pktQueue) reset() {
+	q.head, q.count, q.bytes = 0, 0, 0
+}
 
 // fits reports whether a packet of the given size can be accepted.
 func (q *pktQueue) fits(size int32) bool {
@@ -30,7 +42,7 @@ func (q *pktQueue) push(pid, size int32) {
 	if !q.fits(size) {
 		panic("network: pktQueue overflow (flow control violated)")
 	}
-	q.buf[(q.head+q.count)%int32(len(q.buf))] = pid
+	q.buf[(q.head+q.count)&q.mask] = pid
 	q.count++
 	q.bytes += size
 }
@@ -41,7 +53,7 @@ func (q *pktQueue) peek() int32 {
 
 func (q *pktQueue) pop(size int32) int32 {
 	pid := q.buf[q.head]
-	q.head = (q.head + 1) % int32(len(q.buf))
+	q.head = (q.head + 1) & q.mask
 	q.count--
 	q.bytes -= size
 	return pid
@@ -49,20 +61,19 @@ func (q *pktQueue) pop(size int32) int32 {
 
 // at returns the i-th queued packet id (0 = head) without removing it.
 func (q *pktQueue) at(i int32) int32 {
-	return q.buf[(q.head+i)%int32(len(q.buf))]
+	return q.buf[(q.head+i)&q.mask]
 }
 
 // removeAt removes the i-th entry, preserving the order of the rest.
 func (q *pktQueue) removeAt(i, size int32) int32 {
-	n := int32(len(q.buf))
-	pos := (q.head + i) % n
+	pos := (q.head + i) & q.mask
 	pid := q.buf[pos]
 	for j := i; j > 0; j-- {
-		cur := (q.head + j) % n
-		prev := (q.head + j - 1) % n
+		cur := (q.head + j) & q.mask
+		prev := (q.head + j - 1) & q.mask
 		q.buf[cur] = q.buf[prev]
 	}
-	q.head = (q.head + 1) % n
+	q.head = (q.head + 1) & q.mask
 	q.count--
 	q.bytes -= size
 	return pid

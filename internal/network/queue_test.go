@@ -97,7 +97,7 @@ func TestEventHeapOrdering(t *testing.T) {
 	f := func(times []int16) bool {
 		var h eventHeap
 		for i, tt := range times {
-			h.push(event{t: int64(tt), a: int32(i)})
+			h.push(mkEvent(int64(tt), 0, int32(i), evArrive))
 		}
 		last := int64(-1 << 40)
 		for h.len() > 0 {
@@ -111,6 +111,47 @@ func TestEventHeapOrdering(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestEventPacking(t *testing.T) {
+	for _, tc := range []struct {
+		node, a int32
+		kind    uint8
+	}{
+		{0, 0, evArrive},
+		{65535, 1 << 20, evService},
+		{(1 << 30) - 1, (1 << 31) - 1, evCPUKick},
+		{7, 0x7f, evService},
+	} {
+		e := mkEvent(42, tc.node, tc.a, tc.kind)
+		if e.node() != tc.node || e.arg() != tc.a || e.kind() != tc.kind {
+			t.Errorf("mkEvent(%d,%d,%d) round-trip = (%d,%d,%d)",
+				tc.node, tc.a, tc.kind, e.node(), e.arg(), e.kind())
+		}
+	}
+}
+
+func TestEventHeapTotalOrder(t *testing.T) {
+	// Equal-time events must pop in (node, kind, arg) order regardless of
+	// push order, so simulation results cannot depend on heap internals.
+	var h eventHeap
+	h.push(mkEvent(5, 2, 0, evArrive))
+	h.push(mkEvent(5, 1, 3, evCPUKick))
+	h.push(mkEvent(5, 1, 1, evService))
+	h.push(mkEvent(3, 9, 0, evService))
+	h.push(mkEvent(5, 1, 2, evService))
+	want := []event{
+		mkEvent(3, 9, 0, evService),
+		mkEvent(5, 1, 1, evService),
+		mkEvent(5, 1, 2, evService),
+		mkEvent(5, 1, 3, evCPUKick),
+		mkEvent(5, 2, 0, evArrive),
+	}
+	for i, w := range want {
+		if got := h.pop(); got != w {
+			t.Fatalf("pop %d = %+v, want %+v", i, got, w)
+		}
 	}
 }
 

@@ -1,0 +1,85 @@
+package network
+
+import (
+	"reflect"
+	"testing"
+
+	"alltoall/internal/torus"
+)
+
+// TestResetMatchesFresh: a recycled network must reproduce a fresh
+// network's run exactly - same finish time, same full statistics.
+func TestResetMatchesFresh(t *testing.T) {
+	shape := torus.New(4, 4, 2)
+	p := shape.P()
+	mkSrcs := func(size int32) []Source {
+		srcs := make([]Source, p)
+		for n := 0; n < p; n++ {
+			srcs[n] = &allToAllSource{self: int32(n), p: int32(p), size: size}
+		}
+		return srcs
+	}
+	run := func(nw *Network) (int64, *Stats) {
+		tt, err := nw.Run(1 << 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tt, nw.Stats()
+	}
+
+	freshA, err := New(shape, DefaultParams(), mkSrcs(256), countOnly{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tA, stA := run(freshA)
+
+	freshB, err := New(shape, DefaultParams(), mkSrcs(128), countOnly{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tB, stB := run(freshB)
+
+	// Recycle one network through both workloads, in both orders.
+	nw, err := New(shape, DefaultParams(), mkSrcs(256), countOnly{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(nw)
+	for i, want := range []struct {
+		size int64
+		t    int64
+		st   *Stats
+	}{{128, tB, stB}, {256, tA, stA}, {128, tB, stB}} {
+		if err := nw.Reset(mkSrcs(int32(want.size)), countOnly{}); err != nil {
+			t.Fatal(err)
+		}
+		gotT, gotSt := run(nw)
+		if gotT != want.t {
+			t.Errorf("reset run %d (size %d): finish %d, fresh %d", i, want.size, gotT, want.t)
+		}
+		if !reflect.DeepEqual(gotSt, want.st) {
+			t.Errorf("reset run %d (size %d): stats diverged\nreset: %+v\nfresh: %+v",
+				i, want.size, gotSt, want.st)
+		}
+	}
+}
+
+// TestResetRejectsWrongSourceCount: Reset validates like New.
+func TestResetRejectsWrongSourceCount(t *testing.T) {
+	shape := torus.New(4, 2, 1)
+	p := shape.P()
+	srcs := make([]Source, p)
+	for n := 0; n < p; n++ {
+		srcs[n] = &listSource{}
+	}
+	nw, err := New(shape, DefaultParams(), srcs, countOnly{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Reset(srcs[:p-1], countOnly{}); err == nil {
+		t.Error("short source slice accepted")
+	}
+	if err := nw.Reset(srcs, nil); err == nil {
+		t.Error("nil handler accepted")
+	}
+}

@@ -56,6 +56,29 @@ type Stats struct {
 	LatencyMax  int64
 }
 
+// Events returns the total number of processed simulator events.
+func (s *Stats) Events() int64 {
+	var n int64
+	for _, c := range s.EventsByKind {
+		n += c
+	}
+	return n
+}
+
+// reset zeroes all measurements in place, keeping the per-node slice
+// allocations for reuse by Network.Reset.
+func (s *Stats) reset() {
+	linkBusy, cpuBusy := s.LinkBusy, s.CPUBusy
+	for i := range linkBusy {
+		linkBusy[i] = 0
+	}
+	for i := range cpuBusy {
+		cpuBusy[i] = 0
+	}
+	util := s.UtilSeries[:0]
+	*s = Stats{LinkBusy: linkBusy, CPUBusy: cpuBusy, UtilSeries: util}
+}
+
 // noteWindowBusy accumulates per-window link busy time; window is the
 // sample window size, links the number of unidirectional links.
 func (s *Stats) noteWindowBusy(now, window int64, links int, size int32) {

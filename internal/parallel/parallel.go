@@ -1,0 +1,92 @@
+// Package parallel provides a bounded worker pool for fanning independent
+// simulation runs across cores. Every experiment in this repository is a set
+// of deterministic-per-seed simulations with no shared mutable state, so the
+// pool's only jobs are bounding concurrency, preserving the input order of
+// results, and aggregating errors.
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a -j style worker-count flag: values <= 0 select
+// GOMAXPROCS (one worker per available core).
+func Workers(j int) int {
+	if j > 0 {
+		return j
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map runs fn over every item on up to Workers(workers) goroutines and
+// returns the results in input order. The first error cancels the context
+// passed to still-pending fn calls and stops workers from claiming further
+// items; errors from items that were already running are aggregated in index
+// order. Items skipped because of cancellation leave zero values in the
+// result slice.
+func Map[T, R any](ctx context.Context, workers int, items []T, fn func(ctx context.Context, i int, item T) (R, error)) ([]R, error) {
+	return MapLocal(ctx, workers, items, func() struct{} { return struct{}{} },
+		func(ctx context.Context, _ struct{}, i int, item T) (R, error) {
+			return fn(ctx, i, item)
+		})
+}
+
+// MapLocal is Map with per-worker state: mk runs once on each worker
+// goroutine and its value is handed to every fn call that worker executes.
+// Use it to carry expensive reusable scratch (e.g. a simulation network
+// recycled across sweep points) without sharing it between goroutines.
+func MapLocal[T, R, L any](ctx context.Context, workers int, items []T, mk func() L, fn func(ctx context.Context, local L, i int, item T) (R, error)) ([]R, error) {
+	n := len(items)
+	results := make([]R, n)
+	if n == 0 {
+		return results, ctx.Err()
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			local := mk()
+			for ctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				r, err := fn(ctx, local, i, items[i])
+				if err != nil {
+					errs[i] = err
+					cancel()
+					return
+				}
+				results[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	var joined []error
+	for i, err := range errs {
+		if err != nil {
+			if len(items) > 1 {
+				err = fmt.Errorf("item %d: %w", i, err)
+			}
+			joined = append(joined, err)
+		}
+	}
+	if len(joined) > 0 {
+		return results, errors.Join(joined...)
+	}
+	return results, ctx.Err()
+}

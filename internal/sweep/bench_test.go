@@ -1,0 +1,63 @@
+package sweep
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"alltoall/internal/collective"
+	"alltoall/internal/torus"
+)
+
+// TestMessagesNWorkerInvariance: the same sweep at 1 and at 8 workers must
+// produce deeply equal points in the same order. This is the core guarantee
+// that lets the experiment engine fan out rows without changing any table.
+func TestMessagesNWorkerInvariance(t *testing.T) {
+	opts := collective.Options{Shape: torus.New(4, 4, 2), Seed: 7}
+	sizes := MessageSizes(8, 256)
+	serial, err := MessagesN(context.Background(), 1, collective.StratTPS, opts, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := MessagesN(context.Background(), 8, collective.StratTPS, opts, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Errorf("parallel sweep diverged from serial:\nserial:   %+v\nparallel: %+v", serial, par)
+	}
+}
+
+// BenchmarkSweepParallel measures a small TPS message-size sweep end to end
+// through the worker pool (workers = GOMAXPROCS, per-worker network cache).
+func BenchmarkSweepParallel(b *testing.B) {
+	opts := collective.Options{Shape: torus.New(4, 4, 2), Seed: 3}
+	sizes := MessageSizes(8, 512)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts, err := MessagesN(ctx, 0, collective.StratTPS, opts, sizes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pts) != len(sizes) {
+			b.Fatalf("points = %d", len(pts))
+		}
+	}
+}
+
+// BenchmarkSweepSerial is the same sweep pinned to one worker, for
+// before/after comparison against BenchmarkSweepParallel.
+func BenchmarkSweepSerial(b *testing.B) {
+	opts := collective.Options{Shape: torus.New(4, 4, 2), Seed: 3}
+	sizes := MessageSizes(8, 512)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MessagesN(ctx, 1, collective.StratTPS, opts, sizes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -4,9 +4,11 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 
 	"alltoall/internal/collective"
+	"alltoall/internal/parallel"
 )
 
 // Point is one sweep sample.
@@ -26,25 +28,35 @@ func MessageSizes(lo, hi int) []int {
 		out = append(out, m)
 	}
 	if len(out) == 0 || out[len(out)-1] != hi {
-		out = append(out, hi)
+		return append(out, hi)
 	}
 	return out
 }
 
 // Messages runs one strategy across the given message sizes, reusing opts
-// for everything else.
+// for everything else. Points run in parallel across all cores; see
+// MessagesN for worker control.
 func Messages(strat collective.Strategy, opts collective.Options, sizes []int) ([]Point, error) {
-	out := make([]Point, 0, len(sizes))
-	for _, m := range sizes {
-		o := opts
-		o.MsgBytes = m
-		res, err := collective.Run(strat, o)
-		if err != nil {
-			return out, fmt.Errorf("sweep: %s at m=%d: %w", strat, m, err)
-		}
-		out = append(out, Point{MsgBytes: m, Result: res})
-	}
-	return out, nil
+	return MessagesN(context.Background(), 0, strat, opts, sizes)
+}
+
+// MessagesN is Messages with explicit context and worker count (<= 0 means
+// GOMAXPROCS). Each run is seeded independently of scheduling, and every
+// worker carries its own network cache, so results are identical at any
+// worker count and are returned in size order.
+func MessagesN(ctx context.Context, workers int, strat collective.Strategy, opts collective.Options, sizes []int) ([]Point, error) {
+	return parallel.MapLocal(ctx, workers, sizes,
+		func() *collective.NetCache { return &collective.NetCache{} },
+		func(_ context.Context, cache *collective.NetCache, _ int, m int) (Point, error) {
+			o := opts
+			o.MsgBytes = m
+			o.Cache = cache
+			res, err := collective.Run(strat, o)
+			if err != nil {
+				return Point{}, fmt.Errorf("sweep: %s at m=%d: %w", strat, m, err)
+			}
+			return Point{MsgBytes: m, Result: res}, nil
+		})
 }
 
 // Crossover returns the smallest swept message size at which strategy b's
