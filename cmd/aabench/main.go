@@ -8,25 +8,61 @@
 //	aabench -exp table3 -full      # true machine sizes (hours)
 //	aabench -exp fig6 -csv         # CSV series instead of ASCII
 //	aabench -exp table2 -j 4       # limit the worker pool to 4 cores
+//	aabench -exp all -bench-json BENCH.json   # machine-readable perf record
 //
 // By default partitions larger than -maxnodes (1024) are scaled down by
 // halving every dimension, preserving the aspect ratio that drives the
 // paper's phenomena; rows are annotated with the simulated size.
 //
 // Rows of an experiment are independent simulations and run concurrently on
-// all cores (-j overrides; -j 1 is serial). Output is byte-identical at any
-// worker count. Per-row progress goes to stderr so stdout stays clean.
+// all cores (-j overrides; -j 1 is serial). When an experiment has fewer
+// rows than cores, single runs are additionally parallelized on the sharded
+// event engine (-shards overrides the automatic choice). Output is
+// byte-identical at any worker or shard count. Per-row progress goes to
+// stderr so stdout stays clean.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"alltoall/internal/experiments"
 	"alltoall/internal/parallel"
 )
+
+// benchExperiment is one experiment's perf record in the -bench-json file.
+type benchExperiment struct {
+	Experiment   string  `json:"experiment"`
+	Seconds      float64 `json:"seconds"`
+	Runs         int64   `json:"runs"`
+	Events       int64   `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	RunsPerSec   float64 `json:"runs_per_sec"`
+}
+
+// benchReport is the -bench-json document: enough context to compare
+// apples to apples across commits and machines.
+type benchReport struct {
+	GoVersion    string            `json:"go_version"`
+	GOMAXPROCS   int               `json:"gomaxprocs"`
+	Workers      int               `json:"workers"`
+	Shards       int               `json:"shards"` // 0 = automatic per run
+	Experiments  []benchExperiment `json:"experiments"`
+	TotalSeconds float64           `json:"total_seconds"`
+	TotalRuns    int64             `json:"total_runs"`
+	TotalEvents  int64             `json:"total_events"`
+	EventsPerSec float64           `json:"events_per_sec"`
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "aabench: "+format+"\n", args...)
+	os.Exit(2)
+}
 
 func main() {
 	exp := flag.String("exp", "", "experiment id: table1..table4, fig1..fig7, or all")
@@ -36,7 +72,11 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of ASCII tables")
 	large := flag.Int("large", 0, "override the large-message payload bytes")
 	workers := flag.Int("j", 0, "parallel workers per experiment (0 = all cores, 1 = serial)")
+	shards := flag.Int("shards", 0, "event-engine shards per run (0 = auto, 1 = serial engine)")
 	quiet := flag.Bool("quiet", false, "suppress per-row progress lines on stderr")
+	benchJSON := flag.String("bench-json", "", "write a machine-readable perf report to this file")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	if *exp == "" {
@@ -50,6 +90,7 @@ func main() {
 		Seed:       *seed,
 		LargeBytes: *large,
 		Workers:    *workers,
+		Shards:     *shards,
 	}
 	if !*quiet {
 		cfg.Progress = os.Stderr
@@ -58,11 +99,30 @@ func main() {
 	if *exp == "all" {
 		ids = experiments.Order
 	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatalf("-cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("-cpuprofile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	report := benchReport{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    parallel.Workers(*workers),
+		Shards:     *shards,
+	}
+	failed := false
 	for _, id := range ids {
 		runner, ok := experiments.Catalog[id]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "aabench: unknown experiment %q (have %v)\n", id, experiments.Order)
-			os.Exit(2)
+			fatalf("unknown experiment %q (have %v)", id, experiments.Order)
 		}
 		metrics := &experiments.Metrics{}
 		cfg.Metrics = metrics
@@ -70,26 +130,63 @@ func main() {
 		table, err := runner(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "aabench: %s: %v\n", id, err)
+			failed = true
 			if len(ids) == 1 {
 				os.Exit(1)
 			}
 			continue // keep regenerating the remaining experiments
 		}
+		elapsed := time.Since(start)
+		sec := elapsed.Seconds()
+		report.Experiments = append(report.Experiments, benchExperiment{
+			Experiment:   id,
+			Seconds:      sec,
+			Runs:         metrics.Runs(),
+			Events:       metrics.Events(),
+			EventsPerSec: float64(metrics.Events()) / sec,
+			RunsPerSec:   float64(metrics.Runs()) / sec,
+		})
+		report.TotalSeconds += sec
+		report.TotalRuns += metrics.Runs()
+		report.TotalEvents += metrics.Events()
 		if *csv {
 			if err := table.WriteCSV(os.Stdout); err != nil {
-				fmt.Fprintf(os.Stderr, "aabench: %v\n", err)
-				os.Exit(1)
+				fatalf("%v", err)
 			}
 		} else {
 			if err := table.Write(os.Stdout); err != nil {
-				fmt.Fprintf(os.Stderr, "aabench: %v\n", err)
-				os.Exit(1)
+				fatalf("%v", err)
 			}
-			elapsed := time.Since(start)
 			ev := float64(metrics.Events())
 			fmt.Printf("[%s completed in %s: %d workers, %d runs, %.1fM events, %.2fM events/s]\n\n",
 				id, elapsed.Round(time.Millisecond), parallel.Workers(*workers),
-				metrics.Runs(), ev/1e6, ev/1e6/elapsed.Seconds())
+				metrics.Runs(), ev/1e6, ev/1e6/sec)
 		}
+	}
+	if report.TotalSeconds > 0 {
+		report.EventsPerSec = float64(report.TotalEvents) / report.TotalSeconds
+	}
+	if *benchJSON != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fatalf("-bench-json: %v", err)
+		}
+		if err := os.WriteFile(*benchJSON, append(buf, '\n'), 0o644); err != nil {
+			fatalf("-bench-json: %v", err)
+		}
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatalf("-memprofile: %v", err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatalf("-memprofile: %v", err)
+		}
+		f.Close()
+	}
+	if failed {
+		os.Exit(1)
 	}
 }

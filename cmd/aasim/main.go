@@ -5,12 +5,15 @@
 //
 //	aasim -shape 8x32x16 -strategy TPS -msg 1024
 //	aasim -shape 8x8x4M -strategy AR -msg 240     # M marks a mesh dimension
+//	aasim -shape 8x8x8 -msg 1920 -shards 4        # window-parallel engine
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -40,13 +43,55 @@ func parseShape(s string) (alltoall.Shape, error) {
 	return alltoall.NewMesh(size[0], size[1], size[2], wrap[0], wrap[1], wrap[2]), nil
 }
 
+// startCPUProfile begins CPU profiling to path ("" = disabled) and returns
+// the stop function.
+func startCPUProfile(path string) func() {
+	if path == "" {
+		return func() {}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aasim: -cpuprofile: %v\n", err)
+		os.Exit(2)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		fmt.Fprintf(os.Stderr, "aasim: -cpuprofile: %v\n", err)
+		os.Exit(2)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}
+}
+
+// writeMemProfile records a heap profile to path ("" = disabled).
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aasim: -memprofile: %v\n", err)
+		os.Exit(2)
+	}
+	defer f.Close()
+	runtime.GC() // up-to-date allocation statistics
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintf(os.Stderr, "aasim: -memprofile: %v\n", err)
+		os.Exit(2)
+	}
+}
+
 func main() {
 	shapeStr := flag.String("shape", "8x8x8", "partition, e.g. 8x32x16 or 8x8x4M (M = mesh dimension)")
 	strat := flag.String("strategy", "AR", "AR | DR | Throttle | MPI | TPS | VMesh")
 	msg := flag.Int("msg", 1024, "per-pair payload bytes")
 	seed := flag.Uint64("seed", 1, "randomization seed")
 	burst := flag.Int("burst", 0, "packets per destination visit (0 = default)")
+	shards := flag.Int("shards", 1, "event-engine shards; >1 parallelizes this run across cores (identical output)")
 	dump := flag.String("dump", "", "file for a network state dump if the run stalls")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	shape, err := parseShape(*shapeStr)
@@ -54,19 +99,23 @@ func main() {
 		fmt.Fprintf(os.Stderr, "aasim: %v\n", err)
 		os.Exit(2)
 	}
+	stopCPU := startCPUProfile(*cpuprofile)
 	start := time.Now()
 	res, err := alltoall.Run(alltoall.Strategy(*strat), alltoall.Options{
 		Shape:     shape,
 		MsgBytes:  *msg,
 		Seed:      *seed,
 		Burst:     *burst,
+		Shards:    *shards,
 		DebugDump: *dump,
 	})
+	elapsed := time.Since(start)
+	stopCPU()
+	writeMemProfile(*memprofile)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "aasim: %v\n", err)
 		os.Exit(1)
 	}
-	elapsed := time.Since(start)
 	calib := alltoall.DefaultCalib()
 	fmt.Printf("strategy        %s\n", res.Strategy)
 	fmt.Printf("partition       %v (%d nodes)\n", res.Shape, res.Shape.P())
@@ -78,8 +127,12 @@ func main() {
 	fmt.Printf("packets         %d (%d wire bytes)\n", res.PacketsInjected, res.WireBytes)
 	fmt.Printf("mean latency    %.0f units = %.1f us\n", res.MeanLatencyUnits, calib.Seconds(res.MeanLatencyUnits)*1e6)
 	fmt.Printf("link util       mean %.2f max %.2f\n", res.MeanLinkUtil, res.MaxLinkUtil)
-	fmt.Printf("simulated in    %s (%d events, %.2fM events/s)\n",
-		elapsed.Round(time.Millisecond), res.Events, float64(res.Events)/1e6/elapsed.Seconds())
+	engine := "serial"
+	if *shards > 1 {
+		engine = fmt.Sprintf("%d shards", *shards)
+	}
+	fmt.Printf("simulated in    %s (%s engine, %d events, %.2fM events/s)\n",
+		elapsed.Round(time.Millisecond), engine, res.Events, float64(res.Events)/1e6/elapsed.Seconds())
 	if res.Strategy == alltoall.TPS {
 		fmt.Printf("TPS linear dim  %v\n", res.TPSLinearDim)
 	}

@@ -119,7 +119,7 @@ func runDirect(opts Options, strat Strategy, det, throttle bool, alpha int64) (R
 	if err != nil {
 		return Result{}, err
 	}
-	t, err := nw.Run(opts.MaxTime)
+	t, err := opts.runNet(nw)
 	if err != nil {
 		opts.dumpOnError(nw, err)
 		return Result{}, fmt.Errorf("%s on %v: %w", strat, opts.Shape, err)

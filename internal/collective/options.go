@@ -80,6 +80,14 @@ type Options struct {
 	// default based on the peak time).
 	MaxTime int64
 
+	// Shards > 1 runs the simulation on the window-parallel sharded engine
+	// with that many workers (see network.RunSharded); results are
+	// byte-identical to the serial engine. 0 or 1 selects the serial
+	// engine. Use run-level parallelism (experiments.Config.Workers) when
+	// there are enough runs to fill the cores; shards help when a single
+	// large run is the bottleneck.
+	Shards int
+
 	// Cache, when non-nil, lets Run recycle the simulation network across
 	// runs that share a shape and machine parameters (message-size sweeps):
 	// the network is Reset instead of rebuilt, reusing its router, queue,
@@ -169,6 +177,12 @@ func (o *Options) network(sources []network.Source, h network.Handler) (*network
 		o.Cache.nw = nw
 	}
 	return nw, nil
+}
+
+// runNet drives one simulation with this run's engine selection: the
+// sharded engine when Shards > 1, the serial engine otherwise.
+func (o *Options) runNet(nw *network.Network) (int64, error) {
+	return nw.RunSharded(o.MaxTime, o.Shards)
 }
 
 // pacer builds the injection governor for this run; strict drops the burst

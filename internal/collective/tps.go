@@ -197,7 +197,7 @@ func RunTPS(opts Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	t, err := nw.Run(opts.MaxTime)
+	t, err := opts.runNet(nw)
 	if err != nil {
 		opts.dumpOnError(nw, err)
 		return Result{}, fmt.Errorf("TPS on %v: %w", shape, err)

@@ -182,7 +182,7 @@ type tpsCreditHandler struct {
 	batch    int
 	sources  []*tpsCreditSource
 	pending  []map[int32]int // per node: forwarded-but-uncredited count per source
-	credits  int64           // credit packets sent (bandwidth overhead accounting)
+	credits  []int64         // credit packets sent per node (summed into Result)
 	creditSz int32
 }
 
@@ -215,7 +215,7 @@ func (h *tpsCreditHandler) OnDeliver(d network.Delivered, fw []network.PacketSpe
 		m[d.Src]++
 		if m[d.Src] >= h.batch {
 			m[d.Src] = 0
-			h.credits++
+			h.credits[d.Node]++
 			fw = append(fw, network.PacketSpec{
 				Dst:  d.Src,
 				Size: h.creditSz,
@@ -262,13 +262,14 @@ func runTPSCredit(opts Options, linear torus.Dim) (Result, error) {
 		batch:      batch,
 		sources:    srcs,
 		pending:    make([]map[int32]int, p),
+		credits:    make([]int64, p),
 		creditSz:   network.MinPacketBytes,
 	}
 	nw, err := opts.network(sources, h)
 	if err != nil {
 		return Result{}, err
 	}
-	t, err := nw.Run(opts.MaxTime)
+	t, err := opts.runNet(nw)
 	if err != nil {
 		opts.dumpOnError(nw, err)
 		return Result{}, fmt.Errorf("TPS+credit on %v: %w", shape, err)
@@ -283,7 +284,9 @@ func runTPSCredit(opts Options, linear torus.Dim) (Result, error) {
 	r := opts.newResult(StratTPS)
 	r.TPSLinearDim = linear
 	opts.finishResult(&r, t, nw.Stats())
-	r.CreditPackets = h.credits
+	for _, c := range h.credits {
+		r.CreditPackets += c
+	}
 	r.MaxIntermediateBacklog = nw.Stats().MaxPendingFw
 	return r, nil
 }

@@ -146,7 +146,7 @@ func RunVMesh(opts Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	t1, err := nw1.Run(opts.MaxTime)
+	t1, err := opts.runNet(nw1)
 	if err != nil {
 		opts.dumpOnError(nw1, err)
 		return Result{}, fmt.Errorf("VMesh phase 1 on %v: %w", shape, err)
@@ -193,7 +193,7 @@ func RunVMesh(opts Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	t2, err := nw2.Run(opts.MaxTime)
+	t2, err := opts.runNet(nw2)
 	if err != nil {
 		opts.dumpOnError(nw2, err)
 		return Result{}, fmt.Errorf("VMesh phase 2 on %v: %w", shape, err)

@@ -105,7 +105,7 @@ func (s *xyzSource) Next(now int64) (network.PacketSpec, network.SrcStatus, int6
 type xyzHandler struct {
 	shape       torus.Shape
 	recvPayload []int64
-	forwards    int64
+	forwards    []int64 // per receiving node, so sharded workers never share a counter
 }
 
 func (h *xyzHandler) OnDeliver(d network.Delivered, fw []network.PacketSpec) ([]network.PacketSpec, int64, bool) {
@@ -114,7 +114,7 @@ func (h *xyzHandler) OnDeliver(d network.Delivered, fw []network.PacketSpec) ([]
 		return fw, 0, true
 	}
 	target, stage := xyzTarget(h.shape, h.shape.Coords(int(d.Node)), h.shape.Coords(int(d.Aux)))
-	h.forwards++
+	h.forwards[d.Node]++
 	fw = append(fw, network.PacketSpec{
 		Dst:     int32(h.shape.Rank(target)),
 		Aux:     d.Aux,
@@ -147,12 +147,12 @@ func RunXYZ(opts Options) (Result, error) {
 			passes: (msg.NPkts + opts.Burst - 1) / opts.Burst,
 		}
 	}
-	h := &xyzHandler{shape: shape, recvPayload: make([]int64, p)}
+	h := &xyzHandler{shape: shape, recvPayload: make([]int64, p), forwards: make([]int64, p)}
 	nw, err := opts.network(sources, h)
 	if err != nil {
 		return Result{}, err
 	}
-	t, err := nw.Run(opts.MaxTime)
+	t, err := opts.runNet(nw)
 	if err != nil {
 		opts.dumpOnError(nw, err)
 		return Result{}, fmt.Errorf("XYZ on %v: %w", shape, err)

@@ -56,7 +56,7 @@ func Ablate(cfg Config) (*report.Table, error) {
 			jobs = append(jobs, job{vi, si})
 		}
 	}
-	cells, err := mapRows(cfg, jobs, func(cache *collective.NetCache, _ int, j job) (any, error) {
+	cells, err := mapRows(cfg, jobs, func(cfg Config, cache *collective.NetCache, _ int, j job) (any, error) {
 		start := time.Now()
 		shape := shapes[j.si]
 		opts := cfg.opts(shape, cfg.largeFor(shape))

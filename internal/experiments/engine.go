@@ -83,11 +83,14 @@ func (c Config) runCached(strat collective.Strategy, opts collective.Options, ca
 // the config's worker pool. Each worker gets a private network cache so
 // consecutive rows on one shape reuse simulator allocations; results come
 // back in row order regardless of scheduling, so rendered tables are
-// identical at any worker count.
-func mapRows[T, R any](cfg Config, items []T, fn func(cache *collective.NetCache, i int, item T) (R, error)) ([]R, error) {
+// identical at any worker count. The Config handed to fn carries the
+// fan-out size, letting opts trade run-level against intra-run parallelism
+// (see Config.shardsFor); callbacks shadow the outer cfg with it.
+func mapRows[T, R any](cfg Config, items []T, fn func(cfg Config, cache *collective.NetCache, i int, item T) (R, error)) ([]R, error) {
+	cfg.batch = len(items)
 	return parallel.MapLocal(context.Background(), cfg.Workers, items,
 		func() *collective.NetCache { return &collective.NetCache{} },
 		func(_ context.Context, cache *collective.NetCache, i int, item T) (R, error) {
-			return fn(cache, i, item)
+			return fn(cfg, cache, i, item)
 		})
 }

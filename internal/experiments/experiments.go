@@ -20,6 +20,7 @@ import (
 
 	"alltoall/internal/collective"
 	"alltoall/internal/model"
+	"alltoall/internal/parallel"
 	"alltoall/internal/report"
 	"alltoall/internal/sweep"
 	"alltoall/internal/torus"
@@ -42,12 +43,24 @@ type Config struct {
 	// points fan out over this many goroutines (0 = GOMAXPROCS, 1 =
 	// serial). Tables are byte-identical at any setting.
 	Workers int
+	// Shards selects the intra-run engine: > 1 forces the window-parallel
+	// sharded engine with that many workers per simulation, 1 forces the
+	// serial engine, and 0 (default) picks automatically - sharding only
+	// when a batch of runs is too small to fill the worker pool and the
+	// partition is large enough to amortize the window barriers. Tables
+	// are byte-identical at any setting.
+	Shards int
 	// Progress, when non-nil, receives one line per completed row
 	// (typically os.Stderr, so tables on stdout stay clean).
 	Progress io.Writer
 	// Metrics, when non-nil, accumulates run/event/packet counts across
 	// every collective run of the experiment.
 	Metrics *Metrics
+
+	// batch is the size of the current mapRows fan-out, stamped into the
+	// Config each row callback receives so opts can weigh run-level
+	// against intra-run parallelism.
+	batch int
 }
 
 func (c Config) maxNodes() int {
@@ -136,7 +149,32 @@ func Names() []string {
 }
 
 func (c Config) opts(s torus.Shape, m int) collective.Options {
-	return collective.Options{Shape: s, MsgBytes: m, Seed: c.Seed}
+	return collective.Options{Shape: s, MsgBytes: m, Seed: c.Seed, Shards: c.shardsFor(s.P())}
+}
+
+// shardsFor picks the per-run shard count for a partition of the given node
+// count. Run-level parallelism is strictly cheaper (no window barriers), so
+// the sharded engine is only auto-selected when the current batch of
+// independent runs leaves workers idle, and only on partitions big enough
+// that each shard still owns a few dozen routers. Results are identical
+// either way; this is purely a scheduling decision.
+func (c Config) shardsFor(nodes int) int {
+	if c.Shards != 0 {
+		return c.Shards
+	}
+	w := parallel.Workers(c.Workers)
+	batch := c.batch
+	if batch < 1 {
+		batch = 1
+	}
+	if batch >= w || nodes < 512 {
+		return 1
+	}
+	s := w / batch
+	if s > 8 {
+		s = 8
+	}
+	return s
 }
 
 func shapeLabel(paper torus.Shape, run torus.Shape, scaled bool) string {
@@ -164,7 +202,7 @@ type rowResult struct {
 // pool, one row per partition, emitting a progress line per finished row.
 func (c Config) stratRows(name string, strat collective.Strategy, shapes []torus.Shape) ([]rowResult, error) {
 	n := len(shapes)
-	return mapRows(c, shapes, func(cache *collective.NetCache, i int, paper torus.Shape) (rowResult, error) {
+	return mapRows(c, shapes, func(c Config, cache *collective.NetCache, i int, paper torus.Shape) (rowResult, error) {
 		start := time.Now()
 		res, label, err := c.runRow(cache, strat, paper)
 		if err != nil {
@@ -311,7 +349,7 @@ func Table4(cfg Config) (*report.Table, error) {
 	}
 	t := report.NewTable("Table 4: 1-byte all-to-all latency, TPS vs AR (ms)",
 		"Partition", "Paper TPS", "Paper AR", "Meas TPS", "Meas AR", "Paper ratio", "Meas ratio")
-	out, err := mapRows(cfg, rows, func(cache *collective.NetCache, i int, r struct {
+	out, err := mapRows(cfg, rows, func(cfg Config, cache *collective.NetCache, i int, r struct {
 		shape             torus.Shape
 		paperTPS, paperAR float64
 	}) (t4out, error) {
@@ -383,10 +421,13 @@ func figSweep(cfg Config, title string, paper torus.Shape, strats []collective.S
 			jobs = append(jobs, job{si, mi})
 		}
 	}
-	flat, err := mapRows(cfg, jobs, func(cache *collective.NetCache, _ int, j job) (collective.Result, error) {
+	flat, err := mapRows(cfg, jobs, func(cfg Config, cache *collective.NetCache, _ int, j job) (collective.Result, error) {
 		start := time.Now()
 		opts := stratOpts[j.si]
 		opts.MsgBytes = sizes[j.mi]
+		// stratOpts was built before the fan-out size was known; redo the
+		// engine choice with the actual batch.
+		opts.Shards = cfg.shardsFor(run.P())
 		res, err := cfg.runCached(strats[j.si], opts, cache)
 		if err != nil {
 			return res, fmt.Errorf("sweep: %s at m=%d: %w", strats[j.si], sizes[j.mi], err)
@@ -454,7 +495,7 @@ func Fig3(cfg Config) (*report.Table, error) {
 	}
 	t := report.NewTable("Figure 3: AR per-node throughput (MB/s) by partition",
 		"Partition", "Peak bisection", "1-packet AA", "Large-message AA")
-	out, err := mapRows(cfg, shapes, func(cache *collective.NetCache, i int, paper torus.Shape) (f3out, error) {
+	out, err := mapRows(cfg, shapes, func(cfg Config, cache *collective.NetCache, i int, paper torus.Shape) (f3out, error) {
 		start := time.Now()
 		run, scaled := cfg.scale(paper)
 		onePkt, err := cfg.runCached(collective.StratAR, cfg.opts(run, 240), cache)
@@ -496,7 +537,7 @@ func Fig4(cfg Config) (*report.Table, error) {
 	}
 	t := report.NewTable("Figure 4: percent of peak for direct strategies (large messages)",
 		"Partition", "AR %", "DR %", "Throttled %")
-	out, err := mapRows(cfg, shapes, func(cache *collective.NetCache, i int, paper torus.Shape) (f4out, error) {
+	out, err := mapRows(cfg, shapes, func(cfg Config, cache *collective.NetCache, i int, paper torus.Shape) (f4out, error) {
 		start := time.Now()
 		run, scaled := cfg.scale(paper)
 		m := cfg.largeFor(run)
@@ -539,7 +580,7 @@ func Fig5(cfg Config) (*report.Table, error) {
 		t.AddNote("partition scaled from %v to %v", paper, run)
 	}
 	sizes := sweep.MessageSizes(1, 512)
-	out, err := mapRows(cfg, sizes, func(cache *collective.NetCache, _ int, m int) (collective.Result, error) {
+	out, err := mapRows(cfg, sizes, func(cfg Config, cache *collective.NetCache, _ int, m int) (collective.Result, error) {
 		opts := cfg.opts(run, m)
 		opts.VMeshCols, opts.VMeshRows = vc, vr
 		res, err := cfg.runCached(collective.StratVMesh, opts, cache)

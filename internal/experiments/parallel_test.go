@@ -41,6 +41,31 @@ func TestSerialParallelIdentical(t *testing.T) {
 	}
 }
 
+// TestShardedRenderIdentical is the sharded engine's end-to-end determinism
+// test: rendered tables must be byte-identical whether each simulation runs
+// on the serial engine or on the window-parallel engine, at every shard
+// count, with and without run-level workers on top.
+func TestShardedRenderIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	for _, id := range []string{"table1", "table4"} {
+		serial := tiny()
+		serial.Workers = 1
+		serial.Shards = 1
+		want := render(t, id, serial)
+		for _, shards := range []int{2, 4, 7} {
+			cfg := tiny()
+			cfg.Workers = 2
+			cfg.Shards = shards
+			if got := render(t, id, cfg); got != want {
+				t.Errorf("%s: %d-shard table differs from serial\n-- serial --\n%s\n-- sharded --\n%s",
+					id, shards, want, got)
+			}
+		}
+	}
+}
+
 // TestMetricsAndProgress checks the engine's observability side channels:
 // metrics count every run and progress lines arrive once per row.
 func TestMetricsAndProgress(t *testing.T) {

@@ -58,8 +58,18 @@ func TestAblationCutThroughMatters(t *testing.T) {
 	n := 400
 	ct := runShift(t, base, 3, n)
 	sf := runShift(t, saf, 3, n)
-	if ct > sf {
-		t.Errorf("cut-through should not be slower than store-and-forward: %d vs %d", ct, sf)
+	// A saturated ring is throughput-bound, so cut-through's per-hop latency
+	// advantage mostly cancels and arbitration noise (a few window-sized
+	// stalls from finite credit-return latency) can tip the comparison by a
+	// percent either way; only a clear loss would indicate a modeling bug.
+	if ct > sf+sf/33 {
+		t.Errorf("cut-through should not be clearly slower than store-and-forward: %d vs %d", ct, sf)
+	}
+	// Off saturation the per-hop latency advantage must show directly.
+	ct1 := runShift(t, base, 3, 1)
+	sf1 := runShift(t, saf, 3, 1)
+	if ct1 >= sf1 {
+		t.Errorf("cut-through should beat store-and-forward off saturation: %d vs %d", ct1, sf1)
 	}
 }
 

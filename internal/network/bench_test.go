@@ -1,6 +1,7 @@
 package network
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -66,6 +67,46 @@ func BenchmarkNetworkRun(b *testing.B) {
 		events += nw.Stats().Events()
 	}
 	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkNetworkRunSharded measures the same recycled run on the
+// window-parallel engine at several shard counts (shards=1 is the serial
+// baseline). Speedup requires as many free cores as shards; on a single
+// core the barrier overhead makes sharding a net loss.
+func BenchmarkNetworkRunSharded(b *testing.B) {
+	shape := torus.New(8, 8, 8)
+	p := shape.P()
+	mkSrcs := func() []Source {
+		srcs := make([]Source, p)
+		for n := 0; n < p; n++ {
+			srcs[n] = &allToAllSource{self: int32(n), p: int32(p), size: 256}
+		}
+		return srcs
+	}
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			nw, err := New(shape, DefaultParams(), mkSrcs(), countOnly{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := nw.RunSharded(1<<42, shards); err != nil {
+				b.Fatal(err)
+			}
+			var events int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := nw.Reset(mkSrcs(), countOnly{}); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := nw.RunSharded(1<<42, shards); err != nil {
+					b.Fatal(err)
+				}
+				events += nw.Stats().Events()
+			}
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
 }
 
 // BenchmarkEventHeap measures the raw event queue.

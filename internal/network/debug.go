@@ -24,7 +24,15 @@ type GrantEvent struct {
 // DumpState writes a human-readable snapshot of every non-empty queue, for
 // diagnosing stalls. Intended for tests and debugging tools.
 func (nw *Network) DumpState(w io.Writer) {
-	fmt.Fprintf(w, "t=%d inFlight=%d activeSrc=%d\n", nw.now, nw.inFlight, nw.activeSrc)
+	inFlight, activeSrc := nw.eng.inFlight, nw.eng.activeSrc
+	if nw.sharded {
+		inFlight, activeSrc = 0, 0
+		for i := range nw.shards {
+			inFlight += nw.shards[i].inFlight
+			activeSrc += nw.shards[i].activeSrc
+		}
+	}
+	fmt.Fprintf(w, "t=%d inFlight=%d activeSrc=%d\n", nw.Now(), inFlight, activeSrc)
 	for n := range nw.routers {
 		r := &nw.routers[n]
 		hdr := false
@@ -52,7 +60,7 @@ func (nw *Network) DumpState(w io.Writer) {
 			}
 			head()
 			pid := q.peek()
-			p := &nw.pkts[pid]
+			p := &nw.engineFor(int32(n)).pkts[pid]
 			fmt.Fprintf(w, "  %s: %d pkts %dB, head {dst=%d src=%d size=%d hops=%v vc=%d inDir=%d det=%v kind=%d}\n",
 				name, q.count, q.bytes, p.dst, p.src, p.size, p.hops, p.vc, p.inDir, p.det, p.kind)
 		}

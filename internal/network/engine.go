@@ -1,0 +1,650 @@
+package network
+
+import (
+	"fmt"
+	"math/bits"
+
+	"alltoall/internal/torus"
+)
+
+const maxInt64 = int64(1<<63 - 1)
+
+// engine is the event-processing context for a contiguous range of nodes.
+// The serial path runs one engine owning every node; RunSharded runs one per
+// shard, each with its own event heap, packet pool, clock, and statistics,
+// so workers share no mutable state except the window-barrier mailboxes.
+// Routers are shard-private by construction: every router mutation happens
+// at the owning node (token returns, which the serial engine used to apply
+// directly at the upstream router, are carried by evCredit events instead).
+type engine struct {
+	nw      *Network
+	routers []router // shared backing array; this engine touches [lo,hi) only
+	par     Params
+	id      int32
+	lo, hi  int32 // owned node range [lo, hi)
+
+	evq     eventHeap
+	now     int64
+	pkts    []packet
+	freePkt int32 // head of free list threaded through pkts[i].dst
+	stats   *Stats
+
+	inFlight  int64
+	activeSrc int
+
+	// Sharded-mode state; shardOf is nil for the serial engine, which makes
+	// every destination local.
+	shardOf []int16
+	out     [][]xmsg // outbox per destination shard, drained at window barriers
+	inMin   int64    // published heap minimum for the window-size vote
+	err     error
+
+	// pad keeps adjacent engines in Network.shards off each other's cache
+	// lines; the clock and heap header above are written every event.
+	pad [64]byte //nolint:unused
+}
+
+func (e *engine) init(nw *Network, id, lo, hi int32, stats *Stats) {
+	e.nw = nw
+	e.routers = nw.routers
+	e.par = nw.Par
+	e.id = id
+	e.lo, e.hi = lo, hi
+	e.stats = stats
+	e.freePkt = -1
+}
+
+// resetRunState clears everything a run accumulates, keeping allocations
+// (heap array, packet pool, outboxes) for the next run.
+func (e *engine) resetRunState() {
+	if e.nw == nil {
+		return
+	}
+	e.evq.reset()
+	e.now = 0
+	e.pkts = e.pkts[:0]
+	e.freePkt = -1
+	e.inFlight = 0
+	e.activeSrc = 0
+	for i := range e.out {
+		e.out[i] = e.out[i][:0]
+	}
+	e.inMin = 0
+	e.err = nil
+	if e.stats != nil && e.stats != &e.nw.stats {
+		e.stats.reset()
+	}
+}
+
+func (e *engine) allocPkt() int32 {
+	if e.freePkt >= 0 {
+		pid := e.freePkt
+		e.freePkt = e.pkts[pid].dst
+		return pid
+	}
+	e.pkts = append(e.pkts, packet{})
+	return int32(len(e.pkts) - 1)
+}
+
+func (e *engine) freePacket(pid int32) {
+	e.pkts[pid].dst = e.freePkt
+	e.freePkt = pid
+}
+
+// processUntil pops and dispatches events with t < tend in the strict
+// (t, node, kind, arg) order. It is the whole engine for a serial run
+// (tend = maxInt64) and one window's worth of work for a sharded one.
+func (e *engine) processUntil(tend, maxTime int64) error {
+	for e.evq.len() > 0 {
+		if tend != maxInt64 && e.evq.top().t >= tend {
+			return nil
+		}
+		ev := e.evq.pop()
+		if ev.t < e.now {
+			return fmt.Errorf("network: time went backwards (%d < %d)", ev.t, e.now)
+		}
+		e.now = ev.t
+		if e.now > maxTime {
+			return fmt.Errorf("network: exceeded max time %d (in flight %d, active sources %d)",
+				maxTime, e.inFlight, e.activeSrc)
+		}
+		kind := ev.kind()
+		node := ev.node()
+		e.stats.EventsByKind[kind]++
+		switch kind {
+		case evArrive:
+			e.arrive(node, arrivePid(ev.arg()))
+		case evService:
+			r := &e.routers[node]
+			mask := uint8(ev.arg())
+			if r.svcPending && r.svcAt <= ev.t {
+				mask |= r.svcMask
+				r.svcPending = false
+				r.svcMask = 0
+			}
+			if mask != 0 {
+				e.service(node, mask)
+			}
+		case evCPUKick:
+			e.cpuDoneOrKick(node)
+		case evCredit:
+			dir, vc, cost := creditUnpack(ev.arg())
+			e.routers[node].tok[dir][vc] += cost
+			e.service(node, 1<<dir)
+		}
+	}
+	return nil
+}
+
+// sendArrive delivers a routed packet to its next node: straight onto the
+// local heap when this engine owns dst, else into the mailbox for dst's
+// shard (the packet body travels by value; the destination engine assigns a
+// slot from its own pool when it drains the mailbox at the window barrier).
+func (e *engine) sendArrive(eta int64, dst, pid int32, p *packet) {
+	if e.shardOf != nil {
+		if s := e.shardOf[dst]; int32(s) != e.id {
+			e.out[s] = append(e.out[s], xmsg{t: eta, node: dst, kind: evArrive, pkt: *p})
+			e.inFlight--
+			e.freePacket(pid)
+			return
+		}
+	}
+	e.evq.push(mkEvent(eta, dst, arriveArg(p.inDir, pid), evArrive))
+}
+
+// sendCredit schedules a token return at the upstream router. Unlike the
+// wakeup-only scheduleService path this must not coalesce into an earlier
+// pending event: the tokens become visible exactly at t, in both engines,
+// which is what gives the sharded engine its CreditDelay of lookahead.
+func (e *engine) sendCredit(up int32, dir int, vc int8, cost int32) {
+	t := e.now + e.par.CreditDelay
+	arg := creditArg(dir, vc, cost)
+	if e.shardOf != nil {
+		if s := e.shardOf[up]; int32(s) != e.id {
+			e.out[s] = append(e.out[s], xmsg{t: t, node: up, arg: arg, kind: evCredit})
+			return
+		}
+	}
+	e.evq.push(mkEvent(t, up, arg, evCredit))
+}
+
+func (e *engine) arrive(node, pid int32) {
+	p := &e.pkts[pid]
+	r := &e.routers[node]
+	qIdx := int(p.inDir)*NumVC + int(p.vc)
+	q := &r.in[p.inDir][p.vc]
+	q.push(pid, vcCost(p.vc, p.size))
+	r.occMask |= 1 << qIdx
+	// A push frees no resources, so the only new candidate move is the
+	// arrived packet itself; a targeted attempt on this queue suffices.
+	if win := e.window(p.vc); q.count <= win {
+		freeMask := e.freeOutputs(r)
+		e.tryQueue(node, r, q, qIdx, win, &freeMask, maskAll)
+	}
+}
+
+// Service wake masks: one bit per output direction, plus a bit meaning
+// "reception FIFO drained".
+const (
+	maskRecv uint8 = 1 << 6
+	maskAll  uint8 = 0x7f
+)
+
+// window returns the arbitration lookahead for a VC index (-1 = injection
+// FIFO).
+func (e *engine) window(vc int8) int32 {
+	if vc == VCDyn0 || vc == VCDyn1 {
+		return e.par.VCLookahead
+	}
+	return 1
+}
+
+func (e *engine) freeOutputs(r *router) uint8 {
+	var m uint8
+	now := e.now
+	for d := 0; d < numDirs; d++ {
+		if r.nbr[d] >= 0 && r.out[d] <= now {
+			m |= 1 << d
+		}
+	}
+	return m
+}
+
+// tryQueue attempts to move packets from the first `win` entries of q.
+// Returns true if at least one packet moved. freeMask is updated as links
+// are claimed. Only packets whose desires intersect mask are considered;
+// once a packet is popped, the mask widens for the rest of this queue (the
+// pop is itself the wakeup for the packets behind it).
+func (e *engine) tryQueue(node int32, r *router, q *pktQueue, qIdx int, win int32, freeMask *uint8, mask uint8) bool {
+	moved := false
+	for i := int32(0); i < q.count && i < win; {
+		pid := q.at(i)
+		p := &e.pkts[pid]
+		inDir, vc := p.inDir, p.vc
+		cost := p.size
+		if inDir >= 0 {
+			cost = vcCost(vc, p.size)
+		}
+		if p.dst == node {
+			if !r.recv.fits(p.size) {
+				i++
+				continue
+			}
+			q.removeAt(i, cost)
+			if inDir >= 0 {
+				e.creditUpstream(node, inDir, vc, cost)
+			} else {
+				e.maybeRunCPU(node)
+			}
+			r.recv.push(pid, p.size)
+			e.maybeRunCPU(node)
+			moved = true
+			mask = maskAll
+			continue // entry i replaced by the next packet
+		}
+		if p.want&mask == 0 {
+			i++
+			continue
+		}
+		if p.want&*freeMask == 0 {
+			e.noteBlocked(node, p)
+			i++
+			continue
+		}
+		if granted := e.tryRoute(node, r, pid, p, *freeMask); granted >= 0 {
+			*freeMask &^= 1 << granted
+			q.removeAt(i, cost)
+			if inDir >= 0 {
+				e.creditUpstream(node, inDir, vc, cost)
+			} else {
+				e.maybeRunCPU(node)
+			}
+			moved = true
+			mask = maskAll
+			continue
+		}
+		e.noteBlocked(node, p)
+		i++
+	}
+	if q.count == 0 {
+		r.occMask &^= 1 << qIdx
+	}
+	return moved
+}
+
+// noteBlocked starts the escape-eligibility clock for a packet that failed
+// arbitration, and guarantees a retry once the clock expires.
+func (e *engine) noteBlocked(node int32, p *packet) {
+	if p.blocked == 0 {
+		p.blocked = e.now
+	}
+	// Re-arm the escape-maturity wakeup on every failed pass: a coalesced
+	// earlier wakeup will land here again and reschedule, so the chain
+	// always reaches the maturity time even when individual events are
+	// dropped by coalescing.
+	if mature := p.blocked + e.par.EscapeDelay; mature > e.now {
+		e.scheduleService(node, mature, p.want)
+	}
+}
+
+// scheduleService enqueues a coalesced arbitration pass for node at time t,
+// for the wake reasons in mask. Every caller wakes a node about a condition
+// of that same node (recv space freed, escape maturity), so merging a later
+// nudge into an earlier pending one is safe - the earlier pass sees the
+// same local state. Token returns are NOT routed through here: they carry
+// state, not just a wakeup, and run at their exact time via evCredit.
+func (e *engine) scheduleService(node int32, t int64, mask uint8) {
+	r := &e.routers[node]
+	if r.svcPending && r.svcAt <= t {
+		r.svcMask |= mask
+		return
+	}
+	r.svcPending = true
+	r.svcAt = t
+	r.svcMask |= mask
+	e.evq.push(mkEvent(t, node, 0, evService))
+}
+
+// service runs router arbitration at a node until no packet can move,
+// considering packets whose desires intersect mask.
+func (e *engine) service(node int32, mask uint8) {
+	r := &e.routers[node]
+	nQ := numDirs*NumVC + len(r.inj)
+	for {
+		freeMask := e.freeOutputs(r)
+		if freeMask&mask == 0 && mask&maskRecv == 0 {
+			return
+		}
+		progress := false
+		r.rrCursor++
+		rot := int(r.rrCursor) % nQ
+		// Visit only non-empty queues, starting the rotation at rot for
+		// fairness: bits >= rot first, then the wrap-around remainder.
+		occ := r.occMask
+		high := occ & (^uint32(0) << rot)
+		for _, part := range [2]uint32{high, occ &^ (^uint32(0) << rot)} {
+			for part != 0 {
+				idx := bits.TrailingZeros32(part)
+				part &^= 1 << idx
+				var q *pktQueue
+				var win int32 = 1
+				if idx < numDirs*NumVC {
+					vc := idx % NumVC
+					q = &r.in[idx/NumVC][vc]
+					if vc != VCBubble {
+						win = e.par.VCLookahead
+					}
+				} else {
+					q = &r.inj[idx-numDirs*NumVC]
+				}
+				if q.count == 0 {
+					continue
+				}
+				if e.tryQueue(node, r, q, idx, win, &freeMask, mask) {
+					progress = true
+				}
+			}
+		}
+		if !progress {
+			return
+		}
+		mask = maskAll // any move may have enabled further moves
+	}
+}
+
+// creditUpstream returns the token for the input VC slot that a departing
+// packet occupied at node (cost = vcCost of the packet). The token lands at
+// the upstream router CreditDelay later as an evCredit event (which also
+// runs an arbitration pass there); inDir is the direction of the input
+// port, i.e. the direction from this node toward the upstream sender.
+func (e *engine) creditUpstream(node int32, inDir, vc int8, cost int32) {
+	up := e.routers[node].nbr[int(inDir)]
+	if up < 0 {
+		panic("network: credit for nonexistent upstream link")
+	}
+	e.sendCredit(up, oppositeDir(int(inDir)), vc, cost)
+}
+
+// tryRoute attempts to start pid on an output link of node whose bit is set
+// in freeMask. On success the packet is committed to the wire (arrival
+// event scheduled) and the granted direction is returned; the caller pops
+// it from its queue. Returns -1 on failure.
+func (e *engine) tryRoute(node int32, r *router, pid int32, p *packet, freeMask uint8) int {
+	// Adaptive candidates on the dynamic VCs (JSQ on tokens). A grant only
+	// requires one flit-credit (32 bytes) free: with virtual cut-through
+	// and flit-granular flow control a packet may stream into a buffer
+	// that is draining concurrently, so occupancy can overshoot by up to
+	// one packet (the overshoot models stalled bytes held on the upstream
+	// wire). Tokens go negative to bound the overshoot.
+	// Candidate outputs on the dynamic VCs. Adaptive packets may take any
+	// profitable direction (JSQ across the dynamic VCs); deterministic
+	// packets are restricted to strict dimension order (first unfinished
+	// dimension only) but still use the dynamic channels - a packet-atomic
+	// simulation of the pure bubble-VC deterministic mode degenerates into
+	// slot-conveyor throughput that flit-level hardware does not exhibit.
+	bestDir, bestVC, bestTok := -1, -1, int32(-1<<30)
+	for d := torus.Dim(0); d < torus.NumDims; d++ {
+		h := p.hops[d]
+		if h == 0 {
+			continue
+		}
+		o := dirOf(d, int(h))
+		if freeMask&(1<<o) != 0 {
+			// Packets continuing along the same dimension stream on a
+			// single flit-credit; packets entering a dimension (turns and
+			// injections) need InjectTokens free. Giving dimension-
+			// continuing traffic priority keeps free slack circulating
+			// along each dimension chain instead of being swallowed by
+			// entrants, which would collapse saturated chains into a
+			// one-hole conveyor.
+			need := int32(PacketGranule)
+			if (p.inDir < 0 || dimOfDir(int(p.inDir)) != d) && e.par.InjectTokens > need {
+				need = e.par.InjectTokens
+			}
+			for vc := 0; vc < 2; vc++ {
+				if t := r.tok[o][vc]; t >= need && t > bestTok {
+					bestDir, bestVC, bestTok = o, vc, t
+				}
+			}
+		}
+		if p.det {
+			break // dimension order: only the first unfinished dimension
+		}
+	}
+	if bestDir < 0 {
+		// Bubble escape: a last resort for packets that have been blocked
+		// here longer than EscapeDelay.
+		if p.blocked == 0 || e.now-p.blocked < e.par.EscapeDelay {
+			return -1
+		}
+		// Strict dimension order (X, then Y, then Z).
+		var o = -1
+		for d := torus.Dim(0); d < torus.NumDims; d++ {
+			if p.hops[d] != 0 {
+				o = dirOf(d, int(p.hops[d]))
+				break
+			}
+		}
+		if o < 0 || freeMask&(1<<o) == 0 {
+			return -1
+		}
+		// The bubble rule, slot-quantized: a packet continuing around the
+		// same ring needs one free slot; a packet joining the ring (from an
+		// injection FIFO, a dynamic VC, or another dimension) must leave a
+		// free full-packet bubble, i.e. needs two.
+		need := int32(MaxPacketBytes)
+		joining := p.vc != VCBubble || p.inDir < 0 || dimOfDir(int(p.inDir)) != dimOfDir(o)
+		if joining {
+			need += MaxPacketBytes
+		}
+		if r.tok[o][VCBubble] < need {
+			return -1
+		}
+		bestDir, bestVC = o, VCBubble
+	}
+
+	o, vc := bestDir, bestVC
+	r.tok[o][vc] -= vcCost(int8(vc), p.size)
+	r.out[o] = e.now + int64(p.size)
+	e.stats.LinkBusy[int(node)*numDirs+o] += int64(p.size)
+	e.stats.GrantsByVC[vc]++
+	if w := e.par.UtilSampleWindow; w > 0 {
+		e.stats.noteWindowBusy(e.now, w, p.size)
+	}
+	if e.nw.traceLog != nil && node == e.nw.traceNode && o == e.nw.traceDir {
+		*e.nw.traceLog = append(*e.nw.traceLog, GrantEvent{T: e.now, Size: p.size, VC: int8(vc), Src: p.src, Dst: p.dst})
+	}
+	d := dimOfDir(o)
+	if p.hops[d] > 0 {
+		p.hops[d]--
+	} else {
+		p.hops[d]++
+	}
+	p.vc = int8(vc)
+	p.inDir = int8(oppositeDir(o))
+	p.blocked = 0
+	p.want = wantMask(p.hops, p.det)
+	// Virtual cut-through: a transit packet is eligible for its next hop as
+	// soon as its 32-byte header chunk lands; only at its final hop (where
+	// it is consumed) must the tail arrive first. The outgoing link can
+	// start re-serializing immediately because all links run at the same
+	// rate, so bytes arrive exactly as they are needed.
+	eta := e.now + int64(p.size) + e.par.RouterDelay
+	if p.want != 0 && !e.par.StoreForward {
+		eta = e.now + PacketGranule + e.par.RouterDelay
+	}
+	// The link-free wakeup is a hard deadline: an earlier coalesced pass
+	// would find the link still busy and discover nothing, so push it
+	// unconditionally with its direction bit.
+	e.evq.push(mkEvent(r.out[o], node, 1<<o, evService))
+	e.sendArrive(eta, r.nbr[o], pid, p)
+	return o
+}
+
+// maybeRunCPU starts a CPU operation at node if the CPU is idle and work is
+// available. Reception and injection (software forwards, then fresh source
+// packets) are serviced in alternation - a strict receive-first policy
+// would starve the forwarding half of indirect strategies and serialize
+// their phases - except that a half-full reception FIFO always takes
+// priority so the network keeps draining.
+func (e *engine) maybeRunCPU(node int32) {
+	r := &e.routers[node]
+	if r.cpuBusy {
+		return
+	}
+	preferRecv := !r.cpuToggle || 2*r.recv.bytes >= e.par.RecvFIFOBytes
+	if preferRecv && e.tryRecvOp(node, r) {
+		return
+	}
+	if e.tryInjectOp(node, r) {
+		return
+	}
+	if !preferRecv {
+		e.tryRecvOp(node, r)
+	}
+}
+
+// tryRecvOp starts a reception CPU operation if one is pending.
+func (e *engine) tryRecvOp(node int32, r *router) bool {
+	if r.recv.empty() {
+		return false
+	}
+	pid := r.recv.peek()
+	p := &e.pkts[pid]
+	r.recv.pop(p.size)
+	fw, extra, final := e.nw.handler.OnDeliver(Delivered{
+		Node: node, Src: p.src, Aux: p.aux, Size: p.size,
+		Payload: p.payload, Enq: p.enq, Kind: p.kind,
+	}, r.curFw[:0])
+	r.curFw = fw
+	r.curOp = opRecv
+	r.curPkt = pid
+	r.curFinal = final
+	e.startCPUOp(node, r, e.par.CPUCost(p.size)+extra)
+	// Reception FIFO space freed: blocked VC heads may now sink.
+	e.scheduleService(node, e.now, maskRecv)
+	return true
+}
+
+// tryInjectOp starts an injection CPU operation: a pending software forward
+// first, else the next packet from the source.
+func (e *engine) tryInjectOp(node int32, r *router) bool {
+	if len(r.pendingFw) > 0 {
+		spec := r.pendingFw[0]
+		fifo := int(spec.Class) % len(r.inj)
+		if !r.inj[fifo].fits(spec.Size) {
+			// The CPU waits for this FIFO; it is re-kicked when the FIFO
+			// drains (see tryQueue). Fresh injections stay queued behind
+			// the forward, preserving ordering.
+			return false
+		}
+		copy(r.pendingFw, r.pendingFw[1:])
+		r.pendingFw = r.pendingFw[:len(r.pendingFw)-1]
+		r.curOp = opInject
+		r.curSpec = spec
+		e.startCPUOp(node, r, e.par.CPUCost(spec.Size)+spec.ExtraCPU)
+		return true
+	}
+	if r.srcDone {
+		return false
+	}
+	if !r.pendValid {
+		spec, status, when := e.nw.sources[node].Next(e.now)
+		switch status {
+		case SrcDone:
+			r.srcDone = true
+			e.activeSrc--
+			return false
+		case SrcWait:
+			e.evq.push(mkEvent(when, node, 0, evCPUKick))
+			return false
+		case SrcReady:
+			r.pendSrc = spec
+			r.pendValid = true
+		}
+	}
+	spec := r.pendSrc
+	fifo := int(spec.Class) % len(r.inj)
+	if !r.inj[fifo].fits(spec.Size) {
+		return false // re-kicked when the FIFO drains
+	}
+	r.pendValid = false
+	r.curOp = opInject
+	r.curSpec = spec
+	e.startCPUOp(node, r, e.par.CPUCost(spec.Size)+spec.ExtraCPU)
+	return true
+}
+
+func (e *engine) startCPUOp(node int32, r *router, cost int64) {
+	if cost < 1 {
+		cost = 1
+	}
+	r.cpuBusy = true
+	r.cpuToggle = !r.cpuToggle
+	r.cpuEnd = e.now + cost
+	e.stats.CPUBusy[node] += cost
+	e.evq.push(mkEvent(r.cpuEnd, node, 0, evCPUKick))
+}
+
+// cpuDoneOrKick completes the current CPU operation (if one is running and
+// due) and then tries to start the next one.
+func (e *engine) cpuDoneOrKick(node int32) {
+	r := &e.routers[node]
+	if r.cpuBusy {
+		if e.now < r.cpuEnd {
+			// A stale wait-kick (e.g. a throttle expiry scheduled before the
+			// current op started); the op's own completion kick will follow.
+			return
+		}
+		e.finishCPUOp(node, r)
+	}
+	e.maybeRunCPU(node)
+}
+
+func (e *engine) finishCPUOp(node int32, r *router) {
+	switch r.curOp {
+	case opRecv:
+		pid := r.curPkt
+		p := &e.pkts[pid]
+		e.stats.noteDelivery(e.now, p, r.curFinal)
+		e.inFlight--
+		e.freePacket(pid)
+		if len(r.curFw) > 0 {
+			r.pendingFw = append(r.pendingFw, r.curFw...)
+			r.curFw = r.curFw[:0]
+			if len(r.pendingFw) > e.stats.MaxPendingFw {
+				e.stats.MaxPendingFw = len(r.pendingFw)
+			}
+		}
+	case opInject:
+		spec := r.curSpec
+		pid := e.allocPkt()
+		p := &e.pkts[pid]
+		*p = packet{
+			dst: spec.Dst, src: node, size: spec.Size, payload: spec.Payload,
+			aux: spec.Aux, enq: e.now, hops: e.nw.routeHops(node, spec.Dst),
+			vc: -1, inDir: -1, det: spec.Det, kind: spec.Kind,
+		}
+		p.want = wantMask(p.hops, p.det)
+		if spec.Dst == node {
+			panic("network: self-addressed packet")
+		}
+		e.inFlight++
+		e.stats.PacketsInjected++
+		e.stats.WireBytesInjected += int64(spec.Size)
+		e.stats.LastInject = e.now
+		fifo := int(spec.Class) % len(r.inj)
+		q := &r.inj[fifo]
+		q.push(pid, spec.Size)
+		r.occMask |= 1 << (numDirs*NumVC + fifo)
+		// Only the freshly injected packet is a new candidate; a targeted
+		// attempt on its FIFO suffices (it only helps if it reached the
+		// FIFO head).
+		if q.count == 1 {
+			freeMask := e.freeOutputs(r)
+			e.tryQueue(node, r, q, numDirs*NumVC+fifo, 1, &freeMask, maskAll)
+		}
+	}
+	r.cpuBusy = false
+	r.curOp = opNone
+}

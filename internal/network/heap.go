@@ -14,6 +14,7 @@ const (
 	evArrive  = iota // packet arg finishes traversing a link into node
 	evService        // run router arbitration at node
 	evCPUKick        // re-poll the node's CPU (throttle wait expiry)
+	evCredit         // apply a token return (arg packs dir, vc, cost) at node
 )
 
 func mkEvent(t int64, node, a int32, kind uint8) event {
@@ -23,6 +24,31 @@ func mkEvent(t int64, node, a int32, kind uint8) event {
 func (e event) node() int32 { return int32(e.key >> 34) }
 func (e event) kind() uint8 { return uint8(e.key>>32) & 3 }
 func (e event) arg() int32  { return int32(uint32(e.key)) }
+
+// Arrival args put the input direction in the high bits and the packet-pool
+// index in the low 28. Simultaneous arrivals at one node always come from
+// distinct input directions (a link serializes: successive grants yield
+// strictly increasing ETAs), so the tie-break never reaches the pid bits.
+// That makes the event order independent of pool-slot assignment, which is
+// what lets the sharded engine - whose per-shard pools hand out different
+// pids than the serial free list - reproduce the serial run byte for byte.
+const arrivePidBits = 28
+
+func arriveArg(inDir int8, pid int32) int32 {
+	return int32(inDir)<<arrivePidBits | pid
+}
+
+func arrivePid(a int32) int32 { return a & (1<<arrivePidBits - 1) }
+
+// Credit args pack (output direction, vc, token cost); cost is at most
+// MaxPacketBytes so 12 bits suffice.
+func creditArg(dir int, vc int8, cost int32) int32 {
+	return int32(dir)<<16 | int32(vc)<<12 | cost
+}
+
+func creditUnpack(a int32) (dir int, vc int8, cost int32) {
+	return int(a >> 16), int8(a >> 12 & 0xf), a & 0xfff
+}
 
 // less orders events by time, breaking ties on (node, kind, arg) via the
 // packed key. The strict total order makes the pop sequence a pure function
@@ -49,6 +75,10 @@ type eventHeap struct {
 const heapArity = 4
 
 func (h *eventHeap) len() int { return len(h.ev) }
+
+// top returns the minimum event without removing it. Must not be called on
+// an empty heap.
+func (h *eventHeap) top() event { return h.ev[0] }
 
 // reset discards all pending events, keeping the backing array.
 func (h *eventHeap) reset() { h.ev = h.ev[:0] }

@@ -2,8 +2,8 @@ package network
 
 import (
 	"fmt"
-	"math/bits"
 
+	"alltoall/internal/parallel"
 	"alltoall/internal/torus"
 )
 
@@ -68,6 +68,11 @@ const (
 
 // Source produces the injection schedule for one node. The network polls it
 // whenever the node's CPU is free and the relevant injection FIFO has room.
+//
+// Sharded runs poll each node's source from the worker that owns the node,
+// so a Source must only touch state private to its node (per-node value
+// copies are fine; a structure shared across nodes is not, unless it is
+// immutable after construction).
 type Source interface {
 	Next(now int64) (PacketSpec, SrcStatus, int64)
 }
@@ -88,11 +93,15 @@ type Delivered struct {
 // CPU for each). extraCPU is added to the CPU receive cost (e.g. the VMesh
 // sort/copy gamma term). final marks packets that complete the collective
 // (they count toward FinishTime).
+//
+// OnDeliver for node n runs on the worker that owns n in a sharded run, so
+// handler state must be partitioned by node (e.g. per-node slices indexed by
+// d.Node); cross-node shared counters would race.
 type Handler interface {
 	OnDeliver(d Delivered, fw []PacketSpec) (fwOut []PacketSpec, extraCPU int64, final bool)
 }
 
-// packet is the in-flight representation. Slots are pooled.
+// packet is the in-flight representation. Slots are pooled per engine.
 type packet struct {
 	dst     int32
 	src     int32
@@ -162,7 +171,9 @@ type router struct {
 	rrCursor   uint32
 }
 
-// Network is a simulated torus machine.
+// Network is a simulated torus machine. Event processing lives in engine;
+// the serial path runs one engine owning every node, RunSharded partitions
+// the nodes across several (see shard.go).
 type Network struct {
 	Shape torus.Shape
 	P     int
@@ -170,15 +181,10 @@ type Network struct {
 
 	routers []router
 	coords  []torus.Coord
-	pkts    []packet
-	freePkt int32 // head of free list threaded through pkts[i].dst
-	evq     eventHeap
-	now     int64
 
 	sources   []Source
 	handler   Handler
-	activeSrc int
-	inFlight  int64
+	activeSrc int // nodes with a non-nil source (static per Reset)
 
 	traceNode int32
 	traceDir  int
@@ -186,6 +192,12 @@ type Network struct {
 
 	linkCount int
 	stats     Stats
+
+	eng     engine   // serial engine, owns [0, P)
+	shards  []engine // sharded engines; built on first RunSharded, recycled after
+	shardOf []int16  // node -> owning shard, valid when len(shards) > 0
+	barrier *parallel.Barrier
+	sharded bool // whether the last run used the sharded engines
 }
 
 // New builds a network for the given shape with per-node sources and a
@@ -215,7 +227,6 @@ func New(shape torus.Shape, par Params, sources []Source, handler Handler) (*Net
 		coords:  make([]torus.Coord, p),
 		sources: sources,
 		handler: handler,
-		freePkt: -1,
 	}
 	nw.stats.LinkBusy = make([]int64, p*numDirs)
 	nw.stats.CPUBusy = make([]int64, p)
@@ -250,14 +261,16 @@ func New(shape torus.Shape, par Params, sources []Source, handler Handler) (*Net
 			r.srcDone = true
 		}
 	}
+	nw.eng.init(nw, 0, 0, int32(p), &nw.stats)
 	return nw, nil
 }
 
 // Reset returns the network to its initial state for a fresh run on the same
 // shape and parameters, reusing the router, queue, packet-pool, and event-
-// heap allocations of the previous run. Sweeps that revisit one shape at
-// many message sizes avoid rebuilding the whole machine at every point.
-// sources and handler follow the same rules as New.
+// heap allocations of the previous run (including any sharded engines built
+// by RunSharded). Sweeps that revisit one shape at many message sizes avoid
+// rebuilding the whole machine at every point. sources and handler follow
+// the same rules as New.
 func (nw *Network) Reset(sources []Source, handler Handler) error {
 	if handler == nil {
 		return fmt.Errorf("network: nil handler")
@@ -268,11 +281,11 @@ func (nw *Network) Reset(sources []Source, handler Handler) error {
 	nw.sources = sources
 	nw.handler = handler
 	nw.activeSrc = 0
-	nw.inFlight = 0
-	nw.now = 0
-	nw.pkts = nw.pkts[:0]
-	nw.freePkt = -1
-	nw.evq.reset()
+	nw.eng.resetRunState()
+	for i := range nw.shards {
+		nw.shards[i].resetRunState()
+	}
+	nw.sharded = false
 	nw.stats.reset()
 	for n := 0; n < nw.P; n++ {
 		r := &nw.routers[n]
@@ -316,25 +329,31 @@ func (nw *Network) Reset(sources []Source, handler Handler) error {
 	return nil
 }
 
-// Now returns the current simulation time.
-func (nw *Network) Now() int64 { return nw.now }
+// Now returns the current simulation time (the furthest shard's clock in a
+// sharded run).
+func (nw *Network) Now() int64 {
+	if !nw.sharded {
+		return nw.eng.now
+	}
+	var t int64
+	for i := range nw.shards {
+		if nw.shards[i].now > t {
+			t = nw.shards[i].now
+		}
+	}
+	return t
+}
 
 // Stats returns the collected statistics.
 func (nw *Network) Stats() *Stats { return &nw.stats }
 
-func (nw *Network) allocPkt() int32 {
-	if nw.freePkt >= 0 {
-		pid := nw.freePkt
-		nw.freePkt = nw.pkts[pid].dst
-		return pid
+// engineFor returns the engine owning a node's packets in the most recent
+// (or ongoing) run.
+func (nw *Network) engineFor(node int32) *engine {
+	if nw.sharded {
+		return &nw.shards[nw.shardOf[node]]
 	}
-	nw.pkts = append(nw.pkts, packet{})
-	return int32(len(nw.pkts) - 1)
-}
-
-func (nw *Network) freePacket(pid int32) {
-	nw.pkts[pid].dst = nw.freePkt
-	nw.freePkt = pid
+	return &nw.eng
 }
 
 // routeHops computes the signed per-dimension hop vector for a packet from
@@ -364,531 +383,40 @@ func (nw *Network) routeHops(src, dst int32) [3]int8 {
 // Run drives the simulation until all sources are done and all packets are
 // delivered, or until maxTime is exceeded. It returns the completion time.
 func (nw *Network) Run(maxTime int64) (int64, error) {
-	for n := 0; n < nw.P; n++ {
-		nw.maybeRunCPU(int32(n))
+	return nw.RunSharded(maxTime, 1)
+}
+
+// RunSharded is Run on the window-parallel engine: the torus is partitioned
+// into shards contiguous node subdomains, each advanced by its own worker in
+// bounded time windows (see shard.go). Output - completion time, statistics,
+// handler observations - is byte-identical to the serial engine at any shard
+// count. shards <= 1 (or a degenerate configuration where the safe window
+// would be empty) selects the serial engine.
+func (nw *Network) RunSharded(maxTime int64, shards int) (int64, error) {
+	if shards > nw.P {
+		shards = nw.P
 	}
-	for nw.evq.len() > 0 {
-		e := nw.evq.pop()
-		if e.t < nw.now {
-			return 0, fmt.Errorf("network: time went backwards (%d < %d)", e.t, nw.now)
-		}
-		nw.now = e.t
-		if nw.now > maxTime {
-			return 0, fmt.Errorf("network: exceeded max time %d (in flight %d, active sources %d)",
-				maxTime, nw.inFlight, nw.activeSrc)
-		}
-		kind := e.kind()
-		node := e.node()
-		nw.stats.EventsByKind[kind]++
-		switch kind {
-		case evArrive:
-			nw.arrive(node, e.arg())
-		case evService:
-			r := &nw.routers[node]
-			mask := uint8(e.arg())
-			if r.svcPending && r.svcAt <= e.t {
-				mask |= r.svcMask
-				r.svcPending = false
-				r.svcMask = 0
-			}
-			if mask != 0 {
-				nw.service(node, mask)
-			}
-		case evCPUKick:
-			nw.cpuDoneOrKick(node)
-		}
+	if shards <= 1 || shardSafeWindow(nw.Par) <= 0 {
+		return nw.runSerial(maxTime)
 	}
-	if nw.inFlight != 0 || nw.activeSrc != 0 {
+	return nw.runSharded(maxTime, shards)
+}
+
+func (nw *Network) runSerial(maxTime int64) (int64, error) {
+	nw.sharded = false
+	e := &nw.eng
+	e.activeSrc = nw.activeSrc
+	for n := e.lo; n < e.hi; n++ {
+		e.maybeRunCPU(n)
+	}
+	if err := e.processUntil(maxInt64, maxTime); err != nil {
+		return 0, err
+	}
+	if e.inFlight != 0 || e.activeSrc != 0 {
 		return 0, fmt.Errorf("network: stalled at t=%d with %d packets in flight, %d active sources (deadlock?)",
-			nw.now, nw.inFlight, nw.activeSrc)
+			e.now, e.inFlight, e.activeSrc)
 	}
-	nw.stats.flushWindows(nw.Par.UtilSampleWindow, nw.linkCount)
+	nw.stats.closeWindows()
+	nw.stats.renderUtil(nw.Par.UtilSampleWindow, nw.linkCount)
 	return nw.stats.FinishTime, nil
-}
-
-func (nw *Network) arrive(node, pid int32) {
-	p := &nw.pkts[pid]
-	r := &nw.routers[node]
-	qIdx := int(p.inDir)*NumVC + int(p.vc)
-	q := &r.in[p.inDir][p.vc]
-	q.push(pid, vcCost(p.vc, p.size))
-	r.occMask |= 1 << qIdx
-	// A push frees no resources, so the only new candidate move is the
-	// arrived packet itself; a targeted attempt on this queue suffices.
-	if q.count <= nw.window(p.vc) {
-		freeMask := nw.freeOutputs(r)
-		nw.tryQueue(node, r, q, qIdx, nw.window(p.vc), &freeMask, maskAll)
-	}
-}
-
-// Service wake masks: one bit per output direction, plus a bit meaning
-// "reception FIFO drained".
-const (
-	maskRecv uint8 = 1 << 6
-	maskAll  uint8 = 0x7f
-)
-
-// window returns the arbitration lookahead for a VC index (-1 = injection
-// FIFO).
-func (nw *Network) window(vc int8) int32 {
-	if vc == VCDyn0 || vc == VCDyn1 {
-		return nw.Par.VCLookahead
-	}
-	return 1
-}
-
-func (nw *Network) freeOutputs(r *router) uint8 {
-	var m uint8
-	now := nw.now
-	for d := 0; d < numDirs; d++ {
-		if r.nbr[d] >= 0 && r.out[d] <= now {
-			m |= 1 << d
-		}
-	}
-	return m
-}
-
-// tryQueue attempts to move packets from the first `win` entries of q.
-// Returns true if at least one packet moved. freeMask is updated as links
-// are claimed. Only packets whose desires intersect mask are considered;
-// once a packet is popped, the mask widens for the rest of this queue (the
-// pop is itself the wakeup for the packets behind it).
-func (nw *Network) tryQueue(node int32, r *router, q *pktQueue, qIdx int, win int32, freeMask *uint8, mask uint8) bool {
-	moved := false
-	for i := int32(0); i < q.count && i < win; {
-		pid := q.at(i)
-		p := &nw.pkts[pid]
-		if p.dst == node {
-			if !r.recv.fits(p.size) {
-				i++
-				continue
-			}
-			inDir, vc := p.inDir, p.vc
-			cost := p.size
-			if inDir >= 0 {
-				cost = vcCost(vc, p.size)
-			}
-			q.removeAt(i, cost)
-			if inDir >= 0 {
-				nw.creditUpstream(node, inDir, vc, cost)
-			} else {
-				nw.maybeRunCPU(node)
-			}
-			r.recv.push(pid, p.size)
-			nw.maybeRunCPU(node)
-			moved = true
-			mask = maskAll
-			continue // entry i replaced by the next packet
-		}
-		if p.want&mask == 0 {
-			i++
-			continue
-		}
-		if p.want&*freeMask == 0 {
-			nw.noteBlocked(node, p)
-			i++
-			continue
-		}
-		inDir, vc := p.inDir, p.vc
-		cost := p.size
-		if inDir >= 0 {
-			cost = vcCost(vc, p.size)
-		}
-		if granted := nw.tryRoute(node, r, pid, p, *freeMask); granted >= 0 {
-			*freeMask &^= 1 << granted
-			q.removeAt(i, cost)
-			if inDir >= 0 {
-				nw.creditUpstream(node, inDir, vc, cost)
-			} else {
-				nw.maybeRunCPU(node)
-			}
-			moved = true
-			mask = maskAll
-			continue
-		}
-		nw.noteBlocked(node, p)
-		i++
-	}
-	if q.count == 0 {
-		r.occMask &^= 1 << qIdx
-	}
-	return moved
-}
-
-// noteBlocked starts the escape-eligibility clock for a packet that failed
-// arbitration, and guarantees a retry once the clock expires.
-func (nw *Network) noteBlocked(node int32, p *packet) {
-	if p.blocked == 0 {
-		p.blocked = nw.now
-	}
-	// Re-arm the escape-maturity wakeup on every failed pass: a coalesced
-	// earlier wakeup will land here again and reschedule, so the chain
-	// always reaches the maturity time even when individual events are
-	// dropped by coalescing.
-	if mature := p.blocked + nw.Par.EscapeDelay; mature > nw.now {
-		nw.scheduleService(node, mature, p.want)
-	}
-}
-
-// scheduleService enqueues a coalesced arbitration pass for node at time t,
-// for the wake reasons in mask. Token visibility is immediate (only the
-// wakeup is delayed), so merging a later nudge into an earlier pending one
-// is safe. Deadline wakeups that an earlier pass cannot discover (a link's
-// busyUntil, escape maturity) are pushed with their mask in the event.
-func (nw *Network) scheduleService(node int32, t int64, mask uint8) {
-	r := &nw.routers[node]
-	if r.svcPending && r.svcAt <= t {
-		r.svcMask |= mask
-		return
-	}
-	r.svcPending = true
-	r.svcAt = t
-	r.svcMask |= mask
-	nw.evq.push(mkEvent(t, node, 0, evService))
-}
-
-// service runs router arbitration at a node until no packet can move,
-// considering packets whose desires intersect mask.
-func (nw *Network) service(node int32, mask uint8) {
-	r := &nw.routers[node]
-	nQ := numDirs*NumVC + len(r.inj)
-	for {
-		freeMask := nw.freeOutputs(r)
-		if freeMask&mask == 0 && mask&maskRecv == 0 {
-			return
-		}
-		progress := false
-		r.rrCursor++
-		rot := int(r.rrCursor) % nQ
-		// Visit only non-empty queues, starting the rotation at rot for
-		// fairness: bits >= rot first, then the wrap-around remainder.
-		occ := r.occMask
-		high := occ & (^uint32(0) << rot)
-		for _, part := range [2]uint32{high, occ &^ (^uint32(0) << rot)} {
-			for part != 0 {
-				idx := bits.TrailingZeros32(part)
-				part &^= 1 << idx
-				var q *pktQueue
-				var win int32 = 1
-				if idx < numDirs*NumVC {
-					vc := idx % NumVC
-					q = &r.in[idx/NumVC][vc]
-					if vc != VCBubble {
-						win = nw.Par.VCLookahead
-					}
-				} else {
-					q = &r.inj[idx-numDirs*NumVC]
-				}
-				if q.count == 0 {
-					continue
-				}
-				if nw.tryQueue(node, r, q, idx, win, &freeMask, mask) {
-					progress = true
-				}
-			}
-		}
-		if !progress {
-			return
-		}
-		mask = maskAll // any move may have enabled further moves
-	}
-}
-
-// creditUpstream returns the token for the input VC slot that a departing
-// packet occupied at node (cost = vcCost of the packet), and wakes the
-// upstream router. inDir is the direction of the input port, i.e. the
-// direction from this node toward the upstream sender.
-func (nw *Network) creditUpstream(node int32, inDir, vc int8, cost int32) {
-	r := &nw.routers[node]
-	up := r.nbr[int(inDir)]
-	if up < 0 {
-		panic("network: credit for nonexistent upstream link")
-	}
-	ur := &nw.routers[up]
-	ur.tok[oppositeDir(int(inDir))][vc] += cost
-	nw.scheduleService(up, nw.now+nw.Par.CreditDelay, 1<<oppositeDir(int(inDir)))
-}
-
-// tryRoute attempts to start pid on an output link of node whose bit is set
-// in freeMask. On success the packet is committed to the wire (arrival
-// event scheduled) and the granted direction is returned; the caller pops
-// it from its queue. Returns -1 on failure.
-func (nw *Network) tryRoute(node int32, r *router, pid int32, p *packet, freeMask uint8) int {
-	// Adaptive candidates on the dynamic VCs (JSQ on tokens). A grant only
-	// requires one flit-credit (32 bytes) free: with virtual cut-through
-	// and flit-granular flow control a packet may stream into a buffer
-	// that is draining concurrently, so occupancy can overshoot by up to
-	// one packet (the overshoot models stalled bytes held on the upstream
-	// wire). Tokens go negative to bound the overshoot.
-	// Candidate outputs on the dynamic VCs. Adaptive packets may take any
-	// profitable direction (JSQ across the dynamic VCs); deterministic
-	// packets are restricted to strict dimension order (first unfinished
-	// dimension only) but still use the dynamic channels - a packet-atomic
-	// simulation of the pure bubble-VC deterministic mode degenerates into
-	// slot-conveyor throughput that flit-level hardware does not exhibit.
-	bestDir, bestVC, bestTok := -1, -1, int32(-1<<30)
-	for d := torus.Dim(0); d < torus.NumDims; d++ {
-		h := p.hops[d]
-		if h == 0 {
-			continue
-		}
-		o := dirOf(d, int(h))
-		if freeMask&(1<<o) != 0 {
-			// Packets continuing along the same dimension stream on a
-			// single flit-credit; packets entering a dimension (turns and
-			// injections) need InjectTokens free. Giving dimension-
-			// continuing traffic priority keeps free slack circulating
-			// along each dimension chain instead of being swallowed by
-			// entrants, which would collapse saturated chains into a
-			// one-hole conveyor.
-			need := int32(PacketGranule)
-			if (p.inDir < 0 || dimOfDir(int(p.inDir)) != d) && nw.Par.InjectTokens > need {
-				need = nw.Par.InjectTokens
-			}
-			for vc := 0; vc < 2; vc++ {
-				if t := r.tok[o][vc]; t >= need && t > bestTok {
-					bestDir, bestVC, bestTok = o, vc, t
-				}
-			}
-		}
-		if p.det {
-			break // dimension order: only the first unfinished dimension
-		}
-	}
-	if bestDir < 0 {
-		// Bubble escape: a last resort for packets that have been blocked
-		// here longer than EscapeDelay.
-		if p.blocked == 0 || nw.now-p.blocked < nw.Par.EscapeDelay {
-			return -1
-		}
-		// Strict dimension order (X, then Y, then Z).
-		var o = -1
-		for d := torus.Dim(0); d < torus.NumDims; d++ {
-			if p.hops[d] != 0 {
-				o = dirOf(d, int(p.hops[d]))
-				break
-			}
-		}
-		if o < 0 || freeMask&(1<<o) == 0 {
-			return -1
-		}
-		// The bubble rule, slot-quantized: a packet continuing around the
-		// same ring needs one free slot; a packet joining the ring (from an
-		// injection FIFO, a dynamic VC, or another dimension) must leave a
-		// free full-packet bubble, i.e. needs two.
-		need := int32(MaxPacketBytes)
-		joining := p.vc != VCBubble || p.inDir < 0 || dimOfDir(int(p.inDir)) != dimOfDir(o)
-		if joining {
-			need += MaxPacketBytes
-		}
-		if r.tok[o][VCBubble] < need {
-			return -1
-		}
-		bestDir, bestVC = o, VCBubble
-	}
-
-	o, vc := bestDir, bestVC
-	r.tok[o][vc] -= vcCost(int8(vc), p.size)
-	r.out[o] = nw.now + int64(p.size)
-	nw.stats.LinkBusy[int(node)*numDirs+o] += int64(p.size)
-	nw.stats.GrantsByVC[vc]++
-	if w := nw.Par.UtilSampleWindow; w > 0 {
-		nw.stats.noteWindowBusy(nw.now, w, nw.linkCount, p.size)
-	}
-	if nw.traceLog != nil && node == nw.traceNode && o == nw.traceDir {
-		*nw.traceLog = append(*nw.traceLog, GrantEvent{T: nw.now, Size: p.size, VC: int8(vc), Src: p.src, Dst: p.dst})
-	}
-	d := dimOfDir(o)
-	if p.hops[d] > 0 {
-		p.hops[d]--
-	} else {
-		p.hops[d]++
-	}
-	p.vc = int8(vc)
-	p.inDir = int8(oppositeDir(o))
-	p.blocked = 0
-	p.want = wantMask(p.hops, p.det)
-	// Virtual cut-through: a transit packet is eligible for its next hop as
-	// soon as its 32-byte header chunk lands; only at its final hop (where
-	// it is consumed) must the tail arrive first. The outgoing link can
-	// start re-serializing immediately because all links run at the same
-	// rate, so bytes arrive exactly as they are needed.
-	eta := nw.now + int64(p.size) + nw.Par.RouterDelay
-	if p.want != 0 && !nw.Par.StoreForward {
-		eta = nw.now + PacketGranule + nw.Par.RouterDelay
-	}
-	nw.evq.push(mkEvent(eta, r.nbr[o], pid, evArrive))
-	// The link-free wakeup is a hard deadline: an earlier coalesced pass
-	// would find the link still busy and discover nothing, so push it
-	// unconditionally with its direction bit.
-	nw.evq.push(mkEvent(r.out[o], node, 1<<o, evService))
-	return o
-}
-
-// maybeRunCPU starts a CPU operation at node if the CPU is idle and work is
-// available. Reception and injection (software forwards, then fresh source
-// packets) are serviced in alternation - a strict receive-first policy
-// would starve the forwarding half of indirect strategies and serialize
-// their phases - except that a half-full reception FIFO always takes
-// priority so the network keeps draining.
-func (nw *Network) maybeRunCPU(node int32) {
-	r := &nw.routers[node]
-	if r.cpuBusy {
-		return
-	}
-	preferRecv := !r.cpuToggle || 2*r.recv.bytes >= nw.Par.RecvFIFOBytes
-	if preferRecv && nw.tryRecvOp(node, r) {
-		return
-	}
-	if nw.tryInjectOp(node, r) {
-		return
-	}
-	if !preferRecv {
-		nw.tryRecvOp(node, r)
-	}
-}
-
-// tryRecvOp starts a reception CPU operation if one is pending.
-func (nw *Network) tryRecvOp(node int32, r *router) bool {
-	if r.recv.empty() {
-		return false
-	}
-	pid := r.recv.peek()
-	p := &nw.pkts[pid]
-	r.recv.pop(p.size)
-	fw, extra, final := nw.handler.OnDeliver(Delivered{
-		Node: node, Src: p.src, Aux: p.aux, Size: p.size,
-		Payload: p.payload, Enq: p.enq, Kind: p.kind,
-	}, r.curFw[:0])
-	r.curFw = fw
-	r.curOp = opRecv
-	r.curPkt = pid
-	r.curFinal = final
-	nw.startCPUOp(node, r, nw.Par.CPUCost(p.size)+extra)
-	// Reception FIFO space freed: blocked VC heads may now sink.
-	nw.scheduleService(node, nw.now, maskRecv)
-	return true
-}
-
-// tryInjectOp starts an injection CPU operation: a pending software forward
-// first, else the next packet from the source.
-func (nw *Network) tryInjectOp(node int32, r *router) bool {
-	if len(r.pendingFw) > 0 {
-		spec := r.pendingFw[0]
-		fifo := int(spec.Class) % len(r.inj)
-		if !r.inj[fifo].fits(spec.Size) {
-			// The CPU waits for this FIFO; it is re-kicked when the FIFO
-			// drains (see tryQueue). Fresh injections stay queued behind
-			// the forward, preserving ordering.
-			return false
-		}
-		copy(r.pendingFw, r.pendingFw[1:])
-		r.pendingFw = r.pendingFw[:len(r.pendingFw)-1]
-		r.curOp = opInject
-		r.curSpec = spec
-		nw.startCPUOp(node, r, nw.Par.CPUCost(spec.Size)+spec.ExtraCPU)
-		return true
-	}
-	if r.srcDone {
-		return false
-	}
-	if !r.pendValid {
-		spec, status, when := nw.sources[node].Next(nw.now)
-		switch status {
-		case SrcDone:
-			r.srcDone = true
-			nw.activeSrc--
-			return false
-		case SrcWait:
-			nw.evq.push(mkEvent(when, node, 0, evCPUKick))
-			return false
-		case SrcReady:
-			r.pendSrc = spec
-			r.pendValid = true
-		}
-	}
-	spec := r.pendSrc
-	fifo := int(spec.Class) % len(r.inj)
-	if !r.inj[fifo].fits(spec.Size) {
-		return false // re-kicked when the FIFO drains
-	}
-	r.pendValid = false
-	r.curOp = opInject
-	r.curSpec = spec
-	nw.startCPUOp(node, r, nw.Par.CPUCost(spec.Size)+spec.ExtraCPU)
-	return true
-}
-
-func (nw *Network) startCPUOp(node int32, r *router, cost int64) {
-	if cost < 1 {
-		cost = 1
-	}
-	r.cpuBusy = true
-	r.cpuToggle = !r.cpuToggle
-	r.cpuEnd = nw.now + cost
-	nw.stats.CPUBusy[node] += cost
-	nw.evq.push(mkEvent(r.cpuEnd, node, 0, evCPUKick))
-}
-
-// cpuDoneOrKick completes the current CPU operation (if one is running and
-// due) and then tries to start the next one.
-func (nw *Network) cpuDoneOrKick(node int32) {
-	r := &nw.routers[node]
-	if r.cpuBusy {
-		if nw.now < r.cpuEnd {
-			// A stale wait-kick (e.g. a throttle expiry scheduled before the
-			// current op started); the op's own completion kick will follow.
-			return
-		}
-		nw.finishCPUOp(node, r)
-	}
-	nw.maybeRunCPU(node)
-}
-
-func (nw *Network) finishCPUOp(node int32, r *router) {
-	switch r.curOp {
-	case opRecv:
-		pid := r.curPkt
-		p := &nw.pkts[pid]
-		nw.stats.noteDelivery(nw.now, p, r.curFinal)
-		nw.inFlight--
-		nw.freePacket(pid)
-		if len(r.curFw) > 0 {
-			r.pendingFw = append(r.pendingFw, r.curFw...)
-			r.curFw = r.curFw[:0]
-			if len(r.pendingFw) > nw.stats.MaxPendingFw {
-				nw.stats.MaxPendingFw = len(r.pendingFw)
-			}
-		}
-	case opInject:
-		spec := r.curSpec
-		pid := nw.allocPkt()
-		p := &nw.pkts[pid]
-		*p = packet{
-			dst: spec.Dst, src: node, size: spec.Size, payload: spec.Payload,
-			aux: spec.Aux, enq: nw.now, hops: nw.routeHops(node, spec.Dst),
-			vc: -1, inDir: -1, det: spec.Det, kind: spec.Kind,
-		}
-		p.want = wantMask(p.hops, p.det)
-		if spec.Dst == node {
-			panic("network: self-addressed packet")
-		}
-		nw.inFlight++
-		nw.stats.PacketsInjected++
-		nw.stats.WireBytesInjected += int64(spec.Size)
-		nw.stats.LastInject = nw.now
-		fifo := int(spec.Class) % len(r.inj)
-		q := &r.inj[fifo]
-		q.push(pid, spec.Size)
-		r.occMask |= 1 << (numDirs*NumVC + fifo)
-		// Only the freshly injected packet is a new candidate; a targeted
-		// attempt on its FIFO suffices (it only helps if it reached the
-		// FIFO head).
-		if q.count == 1 {
-			freeMask := nw.freeOutputs(r)
-			nw.tryQueue(node, r, q, numDirs*NumVC+fifo, 1, &freeMask, maskAll)
-		}
-	}
-	r.cpuBusy = false
-	r.curOp = opNone
 }

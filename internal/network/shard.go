@@ -1,0 +1,189 @@
+package network
+
+import (
+	"fmt"
+	"sync"
+
+	"alltoall/internal/parallel"
+)
+
+// The sharded engine is a conservative time-windowed parallel simulation:
+// nodes are partitioned into contiguous rank slabs, each advanced by its own
+// worker over a private event heap. Within a window of width
+// shardSafeWindow no shard can affect another - every cross-shard effect
+// travels with a known minimum delay (PacketGranule+RouterDelay for packet
+// arrivals, CreditDelay for token returns) - so an event generated inside
+// the window [T, T+W) lands at T+W or later. Cross-shard events go into
+// per-shard-pair mailboxes drained at the window barrier; because the event
+// order is a strict total order on (t, node, kind, arg) and arrival args
+// are pid-independent (see heap.go), the pop sequence - and therefore every
+// handler call, statistic, and the finish time - is byte-identical to the
+// serial engine at any shard count.
+
+// xmsg is one cross-shard effect: a packet arrival (kind evArrive, packet
+// carried by value; the destination shard re-homes it into its own pool) or
+// a credit return (kind evCredit, arg as in creditArg).
+type xmsg struct {
+	t    int64
+	node int32
+	arg  int32
+	kind uint8
+	pkt  packet
+}
+
+// shardSafeWindow is the provably safe parallel window: the minimum delay of
+// any cross-node interaction. A non-positive result (degenerate parameters)
+// disables sharding.
+func shardSafeWindow(par Params) int64 {
+	w := int64(PacketGranule) + par.RouterDelay
+	if par.CreditDelay < w {
+		w = par.CreditDelay
+	}
+	return w
+}
+
+// ensureShards (re)builds the shard engines for the given count, reusing
+// them across Reset cycles so cached sweeps stay allocation-free.
+func (nw *Network) ensureShards(s int) {
+	if len(nw.shards) == s {
+		return
+	}
+	if nw.shardOf == nil {
+		nw.shardOf = make([]int16, nw.P)
+	}
+	nw.shards = make([]engine, s)
+	for i := 0; i < s; i++ {
+		lo := int32(nw.P * i / s)
+		hi := int32(nw.P * (i + 1) / s)
+		e := &nw.shards[i]
+		e.init(nw, int32(i), lo, hi, &Stats{
+			LinkBusy: make([]int64, nw.P*numDirs),
+			CPUBusy:  make([]int64, nw.P),
+		})
+		e.shardOf = nw.shardOf
+		e.out = make([][]xmsg, s)
+		for n := lo; n < hi; n++ {
+			nw.shardOf[n] = int16(i)
+		}
+	}
+	nw.barrier = parallel.NewBarrier(s)
+}
+
+func (nw *Network) runSharded(maxTime int64, shards int) (int64, error) {
+	nw.ensureShards(shards)
+	nw.sharded = true
+	window := shardSafeWindow(nw.Par)
+	for i := range nw.shards {
+		e := &nw.shards[i]
+		e.activeSrc = 0
+		if nw.sources != nil {
+			for n := e.lo; n < e.hi; n++ {
+				if nw.sources[n] != nil {
+					e.activeSrc++
+				}
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(shards - 1)
+	for i := 1; i < shards; i++ {
+		go nw.shards[i].run(maxTime, window, &wg)
+	}
+	nw.shards[0].run(maxTime, window, nil)
+	wg.Wait()
+	for i := range nw.shards {
+		if err := nw.shards[i].err; err != nil {
+			return 0, err
+		}
+	}
+	var inFlight int64
+	activeSrc := 0
+	for i := range nw.shards {
+		inFlight += nw.shards[i].inFlight
+		activeSrc += nw.shards[i].activeSrc
+	}
+	if inFlight != 0 || activeSrc != 0 {
+		return 0, fmt.Errorf("network: stalled at t=%d with %d packets in flight, %d active sources (deadlock?)",
+			nw.Now(), inFlight, activeSrc)
+	}
+	for i := range nw.shards {
+		s := nw.shards[i].stats
+		s.closeWindows()
+		nw.stats.merge(s)
+	}
+	nw.stats.closeWindows()
+	nw.stats.renderUtil(nw.Par.UtilSampleWindow, nw.linkCount)
+	return nw.stats.FinishTime, nil
+}
+
+// run is one shard worker. All shards execute the same barrier sequence and
+// compute the window decision from identical published state, so they exit
+// on the same iteration and the barrier count stays balanced.
+//
+// The memory discipline: a shard's outboxes and its err/inMin fields are
+// written only between barriers in which no other shard reads them, and the
+// barrier's atomics order every write before the crossing against every
+// read after it.
+func (e *engine) run(maxTime, window int64, wg *sync.WaitGroup) {
+	if wg != nil {
+		defer wg.Done()
+	}
+	nw := e.nw
+	for n := e.lo; n < e.hi; n++ {
+		e.maybeRunCPU(n)
+	}
+	nw.barrier.Await() // initial injections scheduled; outboxes stable (empty)
+	for {
+		e.drainInboxes()
+		if e.evq.len() > 0 {
+			e.inMin = e.evq.top().t
+		} else {
+			e.inMin = maxInt64
+		}
+		nw.barrier.Await() // inMin published, all inboxes drained
+		gmin := maxInt64
+		fail := false
+		for i := range nw.shards {
+			o := &nw.shards[i]
+			if o.err != nil {
+				fail = true
+			}
+			if o.inMin < gmin {
+				gmin = o.inMin
+			}
+		}
+		if fail || gmin == maxInt64 {
+			return
+		}
+		if err := e.processUntil(gmin+window, maxTime); err != nil {
+			e.err = err
+		}
+		nw.barrier.Await() // window processed; outboxes and err published
+	}
+}
+
+// drainInboxes moves every message other shards addressed to this one onto
+// the local heap. Arrivals are re-homed into this engine's packet pool; the
+// pool-slot number never influences event order (heap.go), so the transfer
+// is invisible to the simulation.
+func (e *engine) drainInboxes() {
+	for i := range e.nw.shards {
+		if int32(i) == e.id {
+			continue
+		}
+		src := &e.nw.shards[i]
+		box := src.out[e.id]
+		for j := range box {
+			m := &box[j]
+			if m.kind == evArrive {
+				pid := e.allocPkt()
+				e.pkts[pid] = m.pkt
+				e.inFlight++
+				e.evq.push(mkEvent(m.t, m.node, arriveArg(m.pkt.inDir, pid), evArrive))
+			} else {
+				e.evq.push(mkEvent(m.t, m.node, m.arg, evCredit))
+			}
+		}
+		src.out[e.id] = box[:0]
+	}
+}

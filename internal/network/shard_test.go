@@ -1,0 +1,206 @@
+package network
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"alltoall/internal/torus"
+)
+
+// shardCountHandler is a shard-safe delivery handler: all state is indexed
+// by the receiving node, which is always processed by the worker owning it.
+// Packets carrying a non-negative Aux different from the receiving node are
+// software-forwarded there (exercising the pendingFw path across shards).
+type shardCountHandler struct {
+	perNode []int64
+	bytes   []int64
+}
+
+func newShardCountHandler(p int) *shardCountHandler {
+	return &shardCountHandler{perNode: make([]int64, p), bytes: make([]int64, p)}
+}
+
+func (h *shardCountHandler) OnDeliver(d Delivered, fw []PacketSpec) ([]PacketSpec, int64, bool) {
+	h.perNode[d.Node]++
+	h.bytes[d.Node] += int64(d.Size)
+	if d.Aux >= 0 && d.Aux != d.Node {
+		return append(fw, PacketSpec{Dst: d.Aux, Size: d.Size, Payload: d.Payload, Aux: -1, Kind: 1}), 0, false
+	}
+	return fw, 0, true
+}
+
+func (h *shardCountHandler) reset() {
+	for i := range h.perNode {
+		h.perNode[i] = 0
+		h.bytes[i] = 0
+	}
+}
+
+// shardTraffic builds a deterministic random workload: a mix of direct and
+// two-hop (software-forwarded) packets, adaptive and deterministic routing,
+// several sizes and FIFO classes.
+func shardTraffic(p int, seed int64) []Source {
+	rng := rand.New(rand.NewSource(seed))
+	srcs := make([]Source, p)
+	for n := 0; n < p; n++ {
+		count := rng.Intn(24)
+		specs := make([]PacketSpec, 0, count)
+		for i := 0; i < count; i++ {
+			d := rng.Intn(p)
+			if d == n {
+				continue
+			}
+			spec := PacketSpec{
+				Dst:   int32(d),
+				Size:  int32(64 + 32*rng.Intn(7)),
+				Aux:   -1,
+				Det:   rng.Intn(3) == 0,
+				Class: int8(rng.Intn(60)),
+			}
+			if fin := rng.Intn(p); rng.Intn(3) == 0 && fin != d {
+				spec.Aux = int32(fin) // deliver at d, then forward to fin
+			}
+			specs = append(specs, spec)
+		}
+		if len(specs) > 0 {
+			srcs[n] = &listSource{specs: specs}
+		}
+	}
+	return srcs
+}
+
+func shardTestShapes() []torus.Shape {
+	return []torus.Shape{
+		torus.New(4, 4, 4),                         // symmetric torus
+		torus.New(8, 4, 2),                         // asymmetric torus
+		torus.NewMesh(5, 3, 4, false, true, false), // odd mesh/torus mix
+		torus.New(16, 1, 1),                        // degenerate ring
+	}
+}
+
+// TestShardedMatchesSerial checks that every statistic of a sharded run -
+// and therefore anything rendered from it - is byte-identical to the serial
+// engine's, for every tested shard count, on symmetric and asymmetric
+// shapes including meshes.
+func TestShardedMatchesSerial(t *testing.T) {
+	par := DefaultParams()
+	par.UtilSampleWindow = 2048
+	for _, shape := range shardTestShapes() {
+		p := shape.P()
+		hSerial := newShardCountHandler(p)
+		ref, err := New(shape, par, shardTraffic(p, 42), hSerial)
+		if err != nil {
+			t.Fatalf("shape %v: %v", shape, err)
+		}
+		refFin, err := ref.Run(1 << 40)
+		if err != nil {
+			t.Fatalf("shape %v serial: %v", shape, err)
+		}
+		for _, shards := range []int{1, 2, 4, 7} {
+			h := newShardCountHandler(p)
+			nw, err := New(shape, par, shardTraffic(p, 42), h)
+			if err != nil {
+				t.Fatalf("shape %v: %v", shape, err)
+			}
+			fin, err := nw.RunSharded(1<<40, shards)
+			if err != nil {
+				t.Fatalf("shape %v shards=%d: %v", shape, shards, err)
+			}
+			if fin != refFin {
+				t.Errorf("shape %v shards=%d: finish %d, serial %d", shape, shards, fin, refFin)
+			}
+			if !reflect.DeepEqual(nw.Stats(), ref.Stats()) {
+				t.Errorf("shape %v shards=%d: stats diverge from serial\nserial:  %+v\nsharded: %+v",
+					shape, shards, ref.Stats(), nw.Stats())
+			}
+			if !reflect.DeepEqual(h, hSerial) {
+				t.Errorf("shape %v shards=%d: handler observations diverge from serial", shape, shards)
+			}
+		}
+	}
+}
+
+// TestShardedResetRecycles checks that Reset fully recycles the sharded
+// engines: repeated runs on one network - including a change of shard count
+// in between - reproduce the serial result exactly.
+func TestShardedResetRecycles(t *testing.T) {
+	shape := torus.New(4, 4, 4)
+	p := shape.P()
+	par := DefaultParams()
+	par.UtilSampleWindow = 2048
+
+	hSerial := newShardCountHandler(p)
+	ref, err := New(shape, par, shardTraffic(p, 7), hSerial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refFin, err := ref.Run(1 << 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	h := newShardCountHandler(p)
+	nw, err := New(shape, par, shardTraffic(p, 7), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run, shards := range []int{4, 2, 4, 1, 4} {
+		if run > 0 {
+			h.reset()
+			if err := nw.Reset(shardTraffic(p, 7), h); err != nil {
+				t.Fatal(err)
+			}
+		}
+		fin, err := nw.RunSharded(1<<40, shards)
+		if err != nil {
+			t.Fatalf("run %d shards=%d: %v", run, shards, err)
+		}
+		if fin != refFin {
+			t.Errorf("run %d shards=%d: finish %d, serial %d", run, shards, fin, refFin)
+		}
+		if !reflect.DeepEqual(nw.Stats(), ref.Stats()) {
+			t.Errorf("run %d shards=%d: stats diverge from serial", run, shards)
+		}
+		if !reflect.DeepEqual(h, hSerial) {
+			t.Errorf("run %d shards=%d: handler observations diverge", run, shards)
+		}
+	}
+}
+
+// TestShardedSteadyStateAllocs guards the cached-run property: once warmed,
+// a Reset + sharded run cycle performs no per-run heap allocations beyond
+// goroutine bookkeeping (bounded by the shard count).
+func TestShardedSteadyStateAllocs(t *testing.T) {
+	const shards = 4
+	shape := torus.New(4, 4, 4)
+	p := shape.P()
+	srcs := shardTraffic(p, 11)
+	h := newShardCountHandler(p)
+	nw, err := New(shape, DefaultParams(), srcs, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rewind := func() {
+		for _, s := range srcs {
+			if s != nil {
+				s.(*listSource).i = 0
+			}
+		}
+		h.reset()
+	}
+	run := func() {
+		rewind()
+		if err := nw.Reset(srcs, h); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := nw.RunSharded(1<<40, shards); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm: builds shard engines, grows pools and mailboxes
+	run()
+	if avg := testing.AllocsPerRun(10, run); avg > shards {
+		t.Errorf("steady-state sharded run allocates %.1f times per run, want <= %d", avg, shards)
+	}
+}

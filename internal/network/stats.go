@@ -5,7 +5,12 @@ import "math/bits"
 // LatencyBuckets is the number of power-of-two latency histogram buckets.
 const LatencyBuckets = 40
 
-// Stats aggregates simulation measurements.
+// NumEventKinds is the number of distinct simulator event kinds.
+const NumEventKinds = 4
+
+// Stats aggregates simulation measurements. In a sharded run each shard
+// accumulates its own Stats over the disjoint node range it owns; the
+// per-shard instances are merged (see merge) when the run completes.
 type Stats struct {
 	// LinkBusy[node*6+dir] is the total time (units) the output link was
 	// occupied by packet transfers.
@@ -16,8 +21,8 @@ type Stats struct {
 	PacketsInjected   int64
 	WireBytesInjected int64
 
-	// EventsByKind counts processed events (arrive, service, cpu).
-	EventsByKind [3]int64
+	// EventsByKind counts processed events (arrive, service, cpu, credit).
+	EventsByKind [NumEventKinds]int64
 
 	// GrantsByVC counts link grants per virtual channel (dyn0, dyn1,
 	// bubble): a high bubble share indicates dynamic-VC exhaustion.
@@ -35,10 +40,13 @@ type Stats struct {
 
 	// UtilSeries is the mean link utilization per UtilSampleWindow window
 	// (only recorded when the parameter is set). Grants are attributed to
-	// the window in which they start.
+	// the window in which they start. Rendered from busyWin at the end of a
+	// run; the integer per-window accumulation is kept exact so per-shard
+	// series merge by addition without floating-point drift.
 	UtilSeries []float64
 
-	windowBusy int64
+	busyWin    []int64 // completed windows' busy time, in order
+	windowBusy int64   // busy time of the currently open window
 	windowIdx  int64
 
 	// Final deliveries (packets whose handler marked them final).
@@ -76,26 +84,86 @@ func (s *Stats) reset() {
 		cpuBusy[i] = 0
 	}
 	util := s.UtilSeries[:0]
-	*s = Stats{LinkBusy: linkBusy, CPUBusy: cpuBusy, UtilSeries: util}
+	busyWin := s.busyWin[:0]
+	*s = Stats{LinkBusy: linkBusy, CPUBusy: cpuBusy, UtilSeries: util, busyWin: busyWin}
 }
 
 // noteWindowBusy accumulates per-window link busy time; window is the
-// sample window size, links the number of unidirectional links.
-func (s *Stats) noteWindowBusy(now, window int64, links int, size int32) {
+// sample window size.
+func (s *Stats) noteWindowBusy(now, window int64, size int32) {
 	idx := now / window
 	for s.windowIdx < idx {
-		s.UtilSeries = append(s.UtilSeries, float64(s.windowBusy)/float64(window*int64(links)))
+		s.busyWin = append(s.busyWin, s.windowBusy)
 		s.windowBusy = 0
 		s.windowIdx++
 	}
 	s.windowBusy += int64(size)
 }
 
-// flushWindows closes the utilization series at the end of a run.
-func (s *Stats) flushWindows(window int64, links int) {
-	if window > 0 && s.windowBusy > 0 {
-		s.UtilSeries = append(s.UtilSeries, float64(s.windowBusy)/float64(window*int64(links)))
+// closeWindows flushes the open utilization window at the end of a run.
+func (s *Stats) closeWindows() {
+	if s.windowBusy > 0 {
+		s.busyWin = append(s.busyWin, s.windowBusy)
 		s.windowBusy = 0
+	}
+	s.windowIdx = 0
+}
+
+// renderUtil converts the exact per-window busy counts into the utilization
+// series. Called once per run, after closeWindows (and, for sharded runs,
+// after merging the per-shard counts).
+func (s *Stats) renderUtil(window int64, links int) {
+	if window <= 0 {
+		return
+	}
+	for _, b := range s.busyWin {
+		s.UtilSeries = append(s.UtilSeries, float64(b)/float64(window*int64(links)))
+	}
+}
+
+// merge folds one shard's statistics into s. Counters add; watermarks take
+// the max; the utilization windows add elementwise in the integer domain
+// (renderUtil then produces floats identical to a serial run's). Shards own
+// disjoint node ranges, so the per-node slices add without overlap.
+func (s *Stats) merge(o *Stats) {
+	for i, v := range o.LinkBusy {
+		s.LinkBusy[i] += v
+	}
+	for i, v := range o.CPUBusy {
+		s.CPUBusy[i] += v
+	}
+	s.PacketsInjected += o.PacketsInjected
+	s.WireBytesInjected += o.WireBytesInjected
+	for i, v := range o.EventsByKind {
+		s.EventsByKind[i] += v
+	}
+	for i, v := range o.GrantsByVC {
+		s.GrantsByVC[i] += v
+	}
+	if o.LastInject > s.LastInject {
+		s.LastInject = o.LastInject
+	}
+	if o.MaxPendingFw > s.MaxPendingFw {
+		s.MaxPendingFw = o.MaxPendingFw
+	}
+	for len(s.busyWin) < len(o.busyWin) {
+		s.busyWin = append(s.busyWin, 0)
+	}
+	for i, v := range o.busyWin {
+		s.busyWin[i] += v
+	}
+	s.FinalPackets += o.FinalPackets
+	s.FinalPayload += o.FinalPayload
+	if o.FinishTime > s.FinishTime {
+		s.FinishTime = o.FinishTime
+	}
+	s.TotalDelivered += o.TotalDelivered
+	for i, v := range o.LatencyHist {
+		s.LatencyHist[i] += v
+	}
+	s.LatencySum += o.LatencySum
+	if o.LatencyMax > s.LatencyMax {
+		s.LatencyMax = o.LatencyMax
 	}
 }
 

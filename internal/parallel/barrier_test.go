@@ -1,0 +1,82 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestBarrierPhases checks that no participant enters phase k+1 before all
+// have finished phase k, across many reuse cycles.
+func TestBarrierPhases(t *testing.T) {
+	const workers = 7
+	const phases = 200
+	b := NewBarrier(workers)
+	var done [phases]atomic.Int32
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for p := 0; p < phases; p++ {
+				done[p].Add(1)
+				b.Await()
+				if got := done[p].Load(); got != workers {
+					errs <- "crossed barrier before all workers finished the phase"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}
+
+// TestBarrierPublishes checks the memory-ordering contract: a write made
+// before Await is visible to another participant after it, without any
+// additional synchronization.
+func TestBarrierPublishes(t *testing.T) {
+	b := NewBarrier(2)
+	var plain [1000]int // deliberately non-atomic
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := range plain {
+			plain[i] = i + 1
+		}
+		b.Await()
+	}()
+	b.Await()
+	for i := range plain {
+		if plain[i] != i+1 {
+			t.Fatalf("plain[%d] = %d after barrier", i, plain[i])
+		}
+	}
+	wg.Wait()
+}
+
+func BenchmarkBarrier(bm *testing.B) {
+	const workers = 4
+	b := NewBarrier(workers)
+	n := bm.N // every participant crosses exactly n times
+	var wg sync.WaitGroup
+	wg.Add(workers - 1)
+	for w := 1; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				b.Await()
+			}
+		}()
+	}
+	bm.ResetTimer()
+	for i := 0; i < n; i++ {
+		b.Await()
+	}
+	wg.Wait()
+}
