@@ -73,6 +73,7 @@ func main() {
 	large := flag.Int("large", 0, "override the large-message payload bytes")
 	workers := flag.Int("j", 0, "parallel workers per experiment (0 = all cores, 1 = serial)")
 	shards := flag.Int("shards", 0, "event-engine shards per run (0 = auto, 1 = serial engine)")
+	checkInv := flag.Bool("check", false, "run every simulation with the runtime invariant checker (~1.4x slower)")
 	quiet := flag.Bool("quiet", false, "suppress per-row progress lines on stderr")
 	benchJSON := flag.String("bench-json", "", "write a machine-readable perf report to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -91,6 +92,7 @@ func main() {
 		LargeBytes: *large,
 		Workers:    *workers,
 		Shards:     *shards,
+		Check:      *checkInv,
 	}
 	if !*quiet {
 		cfg.Progress = os.Stderr

@@ -89,6 +89,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "randomization seed")
 	burst := flag.Int("burst", 0, "packets per destination visit (0 = default)")
 	shards := flag.Int("shards", 1, "event-engine shards; >1 parallelizes this run across cores (identical output)")
+	checkInv := flag.Bool("check", false, "enable the runtime invariant checker (~1.4x slower; fails with a node/time-stamped diagnostic on violation)")
 	dump := flag.String("dump", "", "file for a network state dump if the run stalls")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -107,6 +108,7 @@ func main() {
 		Seed:      *seed,
 		Burst:     *burst,
 		Shards:    *shards,
+		Check:     *checkInv,
 		DebugDump: *dump,
 	})
 	elapsed := time.Since(start)

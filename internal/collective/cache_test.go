@@ -81,3 +81,55 @@ func TestNetCacheCrossShape(t *testing.T) {
 		}
 	}
 }
+
+// TestNetCacheCrossShapeSharded drives one cache through alternating shapes
+// AND engine selections (serial / 4-shard), with invariant checking on: a
+// recycled network must rebuild its shard engines for the new run and still
+// produce byte-identical results. This is the reuse pattern of the parallel
+// experiment engine when a worker's row mix changes partition size.
+func TestNetCacheCrossShapeSharded(t *testing.T) {
+	cache := &NetCache{}
+	steps := []struct {
+		shape  torus.Shape
+		shards int
+	}{
+		{torus.New(4, 4, 2), 4},
+		{torus.New(4, 2, 2), 1},
+		{torus.New(4, 4, 2), 1},
+		{torus.New(4, 2, 2), 4},
+	}
+	for i, st := range steps {
+		fresh, err := RunAR(Options{Shape: st.shape, MsgBytes: 240, Seed: 2, Shards: st.shards, Check: true})
+		if err != nil {
+			t.Fatalf("step %d fresh: %v", i, err)
+		}
+		cached, err := RunAR(Options{Shape: st.shape, MsgBytes: 240, Seed: 2, Shards: st.shards, Check: true, Cache: cache})
+		if err != nil {
+			t.Fatalf("step %d cached: %v", i, err)
+		}
+		if !reflect.DeepEqual(fresh, cached) {
+			t.Errorf("step %d (%v shards=%d): cached run diverged:\nfresh:  %+v\ncached: %+v",
+				i, st.shape, st.shards, fresh, cached)
+		}
+	}
+}
+
+// TestNetCacheCheckToggle ensures Check participates in the cache key: a
+// network built without the checker must not be recycled for a checked run
+// (Params.Check differs), and vice versa.
+func TestNetCacheCheckToggle(t *testing.T) {
+	cache := &NetCache{}
+	shape := torus.New(4, 2, 1)
+	if _, err := RunAR(Options{Shape: shape, MsgBytes: 64, Seed: 2, Cache: cache}); err != nil {
+		t.Fatal(err)
+	}
+	if cache.nw.Par.Check {
+		t.Fatal("unchecked run cached a checked network")
+	}
+	if _, err := RunAR(Options{Shape: shape, MsgBytes: 64, Seed: 2, Cache: cache, Check: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !cache.nw.Par.Check {
+		t.Fatal("checked run recycled the unchecked network (stale cache key)")
+	}
+}

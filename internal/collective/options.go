@@ -50,6 +50,13 @@ type Options struct {
 	Par   network.Params // zero value: network.DefaultParams()
 	Calib model.Calib    // zero value: model.DefaultCalib()
 
+	// Check enables the simulator's runtime invariant checker (equivalent
+	// to setting Par.Check): every event is validated against the machine's
+	// conservation laws and a completed run must reach full quiescence. A
+	// violation fails the run with a node/time-stamped diagnostic. Costs
+	// roughly 1.4x simulation time; meant for tests and CI, not sweeps.
+	Check bool
+
 	// TPSLinear forces the Two Phase Schedule's linear (phase 1) dimension;
 	// nil selects it with the paper's rule (symmetric planar dims if
 	// possible, else the longest dimension).
@@ -127,6 +134,9 @@ func (o *Options) fill() error {
 	}
 	if o.Par == (network.Params{}) {
 		o.Par = network.DefaultParams()
+	}
+	if o.Check {
+		o.Par.Check = true
 	}
 	if o.Calib == (model.Calib{}) {
 		o.Calib = model.DefaultCalib()

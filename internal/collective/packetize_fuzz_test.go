@@ -1,0 +1,61 @@
+package collective
+
+import (
+	"testing"
+
+	"alltoall/internal/network"
+)
+
+// FuzzPacketize round-trips the packetizer over arbitrary payload and header
+// sizes: the wire total must cover payload+header, respect the 32-byte
+// granule and the [64, 256]-byte packet envelope, and the per-packet
+// size/payload attributions must sum back to the message totals.
+func FuzzPacketize(f *testing.F) {
+	// Edge seeds: empty, sub-minimum, exact granule/packet boundaries and
+	// their neighbours, header-dominated, and large multi-packet messages.
+	for _, m := range []int{0, 1, 15, 16, 17, 63, 64, 65, 207, 208, 209, 240, 255, 256, 257, 2048, 1 << 20} {
+		f.Add(m, 48)
+		f.Add(m, 0)
+	}
+	f.Add(3, 256)
+	f.Add(100, 31)
+	f.Fuzz(func(t *testing.T, m, header int) {
+		if m < 0 || header < 0 || m > 1<<26 || header > 1<<12 {
+			t.Skip()
+		}
+		g := NewMsg(m, header)
+		if g.NPkts < 1 {
+			t.Fatalf("NewMsg(%d, %d): %d packets", m, header, g.NPkts)
+		}
+		if g.Wire < int64(m+header) {
+			t.Fatalf("NewMsg(%d, %d): wire %d does not cover payload+header %d", m, header, g.Wire, m+header)
+		}
+		if g.Wire%network.PacketGranule != 0 {
+			t.Fatalf("NewMsg(%d, %d): wire %d not a multiple of the %d-byte granule", m, header, g.Wire, network.PacketGranule)
+		}
+		var wire int64
+		var payload int64
+		for j := 0; j < g.NPkts; j++ {
+			sz := g.PktSize(j)
+			if sz < network.MinPacketBytes || sz > network.MaxPacketBytes {
+				t.Fatalf("NewMsg(%d, %d): packet %d size %d outside [%d, %d]",
+					m, header, j, sz, network.MinPacketBytes, network.MaxPacketBytes)
+			}
+			if sz%network.PacketGranule != 0 {
+				t.Fatalf("NewMsg(%d, %d): packet %d size %d not granule-aligned", m, header, j, sz)
+			}
+			pl := g.PktPayload(j)
+			if pl < 0 || pl > sz {
+				t.Fatalf("NewMsg(%d, %d): packet %d payload %d outside [0, %d]", m, header, j, pl, sz)
+			}
+			wire += int64(sz)
+			payload += int64(pl)
+		}
+		if wire != g.Wire {
+			t.Fatalf("NewMsg(%d, %d): packet sizes sum to %d, Wire says %d", m, header, wire, g.Wire)
+		}
+		if payload != int64(m) {
+			t.Fatalf("NewMsg(%d, %d): packet payloads sum to %d, want %d", m, header, payload, m)
+		}
+	})
+}

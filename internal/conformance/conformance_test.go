@@ -1,0 +1,120 @@
+package conformance
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"alltoall/internal/collective"
+	"alltoall/internal/torus"
+)
+
+// msgBytes is the per-pair payload for conformance runs: not a multiple of
+// the packet granule, so every run exercises the packetizer's padding path.
+const msgBytes = 240
+
+// full reports whether the expanded matrix was requested (CI's conformance
+// job sets CONFORMANCE_FULL=1; the default matrix keeps `go test ./...`
+// fast).
+func full() bool { return os.Getenv("CONFORMANCE_FULL") != "" }
+
+// strategies is the six-strategy suite from the paper (MPI is a calibration
+// baseline, not a torus algorithm, and is covered elsewhere).
+func strategies() []collective.Strategy {
+	return []collective.Strategy{
+		collective.StratAR, collective.StratDR, collective.StratThrottle,
+		collective.StratTPS, collective.StratVMesh, collective.StratXYZ,
+	}
+}
+
+// shapeMatrix is the checked-run shape set: symmetric and asymmetric tori
+// plus meshes, scaled to keep the default suite quick.
+func shapeMatrix() []torus.Shape {
+	shapes := []torus.Shape{
+		torus.New(4, 4, 4),                          // symmetric torus
+		torus.New(8, 4, 2),                          // asymmetric torus
+		torus.NewMesh(4, 4, 2, false, false, false), // full mesh
+		torus.NewMesh(4, 4, 4, false, true, false),  // mesh/torus mix
+	}
+	if full() {
+		shapes = append(shapes,
+			torus.New(8, 8, 4),
+			torus.New(8, 4, 4),
+			torus.NewMesh(8, 4, 2, true, false, false),
+		)
+	}
+	return shapes
+}
+
+// runChecked performs one strategy run with the runtime invariant checker
+// enabled, dumping network state to $CONFORMANCE_ARTIFACTS on failure.
+func runChecked(t *testing.T, strat collective.Strategy, shape torus.Shape, shards int, seed uint64) collective.Result {
+	t.Helper()
+	opts := collective.Options{
+		Shape:    shape,
+		MsgBytes: msgBytes,
+		Seed:     seed,
+		Check:    true,
+		Shards:   shards,
+	}
+	if dir := os.Getenv("CONFORMANCE_ARTIFACTS"); dir != "" {
+		opts.DebugDump = filepath.Join(dir,
+			fmt.Sprintf("%s-%v-shards%d-seed%d.dump", strat, shape, shards, seed))
+	}
+	res, err := collective.Run(strat, opts)
+	if err != nil {
+		t.Fatalf("%s on %v shards=%d seed=%d (checked): %v", strat, shape, shards, seed, err)
+	}
+	return res
+}
+
+// TestCheckedMatrix runs every strategy over the shape matrix at shard
+// counts 1 and 4 with invariant checking on, and holds each result to the
+// two properties that need no reference run: the run passes every runtime
+// invariant (credit conservation, bubble slots, FIFO bounds, monotonic
+// time, quiescence), and the finish time respects the exact Equation 2
+// peak lower bound. The serial and sharded results must also be identical
+// field for field.
+func TestCheckedMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	for _, shape := range shapeMatrix() {
+		for _, strat := range strategies() {
+			t.Run(fmt.Sprintf("%s/%v", strat, shape), func(t *testing.T) {
+				serial := runChecked(t, strat, shape, 1, 1)
+				if ft := float64(serial.Time); ft < serial.PeakTime {
+					t.Errorf("finish time %v beats the Equation 2 peak bound %v", ft, serial.PeakTime)
+				}
+				sharded := runChecked(t, strat, shape, 4, 1)
+				if !reflect.DeepEqual(serial, sharded) {
+					t.Errorf("serial and 4-shard checked runs differ:\nserial:  %+v\nsharded: %+v", serial, sharded)
+				}
+			})
+		}
+	}
+}
+
+// TestPeakBoundAcrossSeeds re-checks the Equation 2 lower bound over several
+// destination-order seeds for the schedule-sensitive strategies (the bound
+// must hold for every schedule, not just the default one).
+func TestPeakBoundAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	seeds := []uint64{1, 2, 7}
+	if full() {
+		seeds = append(seeds, 11, 23)
+	}
+	shape := torus.New(4, 4, 4)
+	for _, strat := range []collective.Strategy{collective.StratAR, collective.StratDR} {
+		for _, seed := range seeds {
+			res := runChecked(t, strat, shape, 1, seed)
+			if ft := float64(res.Time); ft < res.PeakTime {
+				t.Errorf("%s seed %d: finish %v beats peak bound %v", strat, seed, ft, res.PeakTime)
+			}
+		}
+	}
+}

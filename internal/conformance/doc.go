@@ -1,0 +1,13 @@
+// Package conformance holds the simulator's property and metamorphic test
+// suite: every all-to-all strategy is run over a matrix of torus and mesh
+// shapes at shard counts {1, 4} with the runtime invariant checker
+// (network.Params.Check, package check) enabled, and the results are held to
+// the model's symmetries - rank-permutation invariance of aggregate
+// throughput, dimension-relabeling symmetry, the Equation 2 peak lower
+// bound, and serial/sharded identity.
+//
+// The package contains only tests; this file exists so the package is a
+// buildable unit. Run the full matrix with CONFORMANCE_FULL=1; point
+// CONFORMANCE_ARTIFACTS at a directory to collect network-state dumps from
+// failing runs.
+package conformance

@@ -1,0 +1,99 @@
+package conformance
+
+import (
+	"testing"
+
+	"alltoall/internal/collective"
+	"alltoall/internal/torus"
+)
+
+// Metamorphic properties: transformations of the input that must leave the
+// aggregate result (near-)invariant. The tolerance bands were set at about
+// twice the empirically observed spread, so they catch systematic breakage
+// without flaking on schedule noise.
+
+// TestRankPermutationInvariance: the destination-order seed permutes every
+// node's traversal of its p-1 partners. Aggregate throughput is a property
+// of the machine and the traffic matrix, not of the schedule, so completion
+// times across seeds must stay in a narrow band (observed spread on these
+// shapes is under 4.5%; the band allows 8%).
+func TestRankPermutationInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	seeds := []uint64{1, 2, 3, 5, 7}
+	if full() {
+		seeds = append(seeds, 11, 13, 17, 19, 23)
+	}
+	for _, strat := range []collective.Strategy{collective.StratAR, collective.StratDR, collective.StratTPS} {
+		t.Run(string(strat), func(t *testing.T) {
+			min, max := int64(1<<62), int64(0)
+			for _, seed := range seeds {
+				res := runChecked(t, strat, torus.New(4, 4, 4), 1, seed)
+				if res.Time < min {
+					min = res.Time
+				}
+				if res.Time > max {
+					max = res.Time
+				}
+			}
+			if float64(max) > 1.08*float64(min) {
+				t.Errorf("%s completion spread across seeds %v: min %d max %d (> 8%%); throughput is not schedule-invariant",
+					strat, seeds, min, max)
+			}
+		})
+	}
+}
+
+// TestDimensionRelabelingSymmetry: a torus has no preferred axis under
+// adaptive routing, so relabeling the dimensions of an asymmetric shape
+// (the paper's 8x8x16 vs 16x8x8, scaled to 4x4x8) must leave the Equation 2
+// peak exactly equal and the AR completion time equal up to schedule noise
+// (observed spread 3.4%; the band allows 10%).
+func TestDimensionRelabelingSymmetry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	relabelings := []torus.Shape{
+		torus.New(4, 4, 8),
+		torus.New(8, 4, 4),
+		torus.New(4, 8, 4),
+	}
+	var times []int64
+	peak := relabelings[0].PeakTime(msgBytes)
+	for _, shape := range relabelings {
+		if got := shape.PeakTime(msgBytes); got != peak {
+			t.Fatalf("Equation 2 peak is not relabeling-invariant: %v gives %v, %v gives %v",
+				relabelings[0], peak, shape, got)
+		}
+		res := runChecked(t, collective.StratAR, shape, 1, 1)
+		times = append(times, res.Time)
+	}
+	min, max := times[0], times[0]
+	for _, ti := range times[1:] {
+		if ti < min {
+			min = ti
+		}
+		if ti > max {
+			max = ti
+		}
+	}
+	if float64(max) > 1.10*float64(min) {
+		t.Errorf("AR is not relabeling-symmetric: times %v across %v (> 10%% spread)", times, relabelings)
+	}
+}
+
+// TestMeshSlowerThanTorus: removing the wraparound links can only remove
+// bandwidth, so the full mesh of a shape must never beat its torus (a
+// metamorphic ordering, not an equality).
+func TestMeshSlowerThanTorus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	tor := runChecked(t, collective.StratAR, torus.New(4, 4, 4), 1, 1)
+	mesh := runChecked(t, collective.StratAR, torus.NewMesh(4, 4, 4, false, false, false), 1, 1)
+	if mesh.Time < tor.Time {
+		t.Errorf("mesh 4x4x4 finished at %d, faster than torus %d; cutting links added bandwidth?",
+			mesh.Time, tor.Time)
+	}
+}

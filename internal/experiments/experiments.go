@@ -57,6 +57,11 @@ type Config struct {
 	// every collective run of the experiment.
 	Metrics *Metrics
 
+	// Check enables the simulator's runtime invariant checker for every
+	// run of the experiment (collective.Options.Check). Costs roughly
+	// 1.4x simulation time; tables are unchanged when the invariants hold.
+	Check bool
+
 	// batch is the size of the current mapRows fan-out, stamped into the
 	// Config each row callback receives so opts can weigh run-level
 	// against intra-run parallelism.
@@ -149,7 +154,7 @@ func Names() []string {
 }
 
 func (c Config) opts(s torus.Shape, m int) collective.Options {
-	return collective.Options{Shape: s, MsgBytes: m, Seed: c.Seed, Shards: c.shardsFor(s.P())}
+	return collective.Options{Shape: s, MsgBytes: m, Seed: c.Seed, Shards: c.shardsFor(s.P()), Check: c.Check}
 }
 
 // shardsFor picks the per-run shard count for a partition of the given node

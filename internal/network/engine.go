@@ -39,6 +39,11 @@ type engine struct {
 	inMin   int64    // published heap minimum for the window-size vote
 	err     error
 
+	// vio holds the first invariant violation caught inside a dispatch
+	// (sites that cannot return an error directly); processUntil surfaces
+	// it at the end of the offending event. Only written when par.Check.
+	vio error
+
 	// pad keeps adjacent engines in Network.shards off each other's cache
 	// lines; the clock and heap header above are written every event.
 	pad [64]byte //nolint:unused
@@ -71,6 +76,7 @@ func (e *engine) resetRunState() {
 	}
 	e.inMin = 0
 	e.err = nil
+	e.vio = nil
 	if e.stats != nil && e.stats != &e.nw.stats {
 		e.stats.reset()
 	}
@@ -131,6 +137,18 @@ func (e *engine) processUntil(tend, maxTime int64) error {
 			dir, vc, cost := creditUnpack(ev.arg())
 			e.routers[node].tok[dir][vc] += cost
 			e.service(node, 1<<dir)
+		}
+		if e.par.Check {
+			// Events mutate only the dispatched node's router, so a
+			// node-local audit after each event covers every mutation.
+			if e.vio == nil {
+				if v := e.checkNode(node); v != nil {
+					e.vio = v
+				}
+			}
+			if e.vio != nil {
+				return e.vio
+			}
 		}
 	}
 	return nil
@@ -383,6 +401,7 @@ func (e *engine) tryRoute(node int32, r *router, pid int32, p *packet, freeMask 
 	// simulation of the pure bubble-VC deterministic mode degenerates into
 	// slot-conveyor throughput that flit-level hardware does not exhibit.
 	bestDir, bestVC, bestTok := -1, -1, int32(-1<<30)
+	escJoining := false
 	for d := torus.Dim(0); d < torus.NumDims; d++ {
 		h := p.hops[d]
 		if h == 0 {
@@ -440,11 +459,14 @@ func (e *engine) tryRoute(node int32, r *router, pid int32, p *packet, freeMask 
 		if r.tok[o][VCBubble] < need {
 			return -1
 		}
-		bestDir, bestVC = o, VCBubble
+		bestDir, bestVC, escJoining = o, VCBubble, joining
 	}
 
 	o, vc := bestDir, bestVC
 	r.tok[o][vc] -= vcCost(int8(vc), p.size)
+	if e.par.Check && vc == VCBubble {
+		e.checkBubbleGrant(node, o, escJoining, r.tok[o][vc])
+	}
 	r.out[o] = e.now + int64(p.size)
 	e.stats.LinkBusy[int(node)*numDirs+o] += int64(p.size)
 	e.stats.GrantsByVC[vc]++

@@ -281,6 +281,9 @@ func (nw *Network) Reset(sources []Source, handler Handler) error {
 	nw.sources = sources
 	nw.handler = handler
 	nw.activeSrc = 0
+	// Grant tracing is per-run diagnostics: a recycled network must not
+	// keep appending to the previous run's trace.
+	nw.traceLog = nil
 	nw.eng.resetRunState()
 	for i := range nw.shards {
 		nw.shards[i].resetRunState()
@@ -415,6 +418,11 @@ func (nw *Network) runSerial(maxTime int64) (int64, error) {
 	if e.inFlight != 0 || e.activeSrc != 0 {
 		return 0, fmt.Errorf("network: stalled at t=%d with %d packets in flight, %d active sources (deadlock?)",
 			e.now, e.inFlight, e.activeSrc)
+	}
+	if nw.Par.Check {
+		if err := nw.checkQuiescence(); err != nil {
+			return 0, err
+		}
 	}
 	nw.stats.closeWindows()
 	nw.stats.renderUtil(nw.Par.UtilSampleWindow, nw.linkCount)

@@ -96,6 +96,16 @@ type Params struct {
 	// near-peak link utilization. The bubble escape VC is always strictly
 	// FIFO (the ring invariant depends on it), as are injection FIFOs.
 	VCLookahead int32
+
+	// Check enables the runtime invariant checker (internal/check): after
+	// every event the affected router is validated against the model's
+	// conservation laws (credit conservation, bubble slot bounds, FIFO
+	// occupancy, occupancy-mask coherence), cross-shard messages are
+	// checked for window monotonicity, and a completed run must reach full
+	// quiescence (every credit home, every packet delivered exactly once).
+	// A violation aborts the run with a node/time-stamped diagnostic. Off
+	// by default: the hot path pays only a predictable branch per event.
+	Check bool
 }
 
 // DefaultParams returns the calibration used throughout the reproduction.

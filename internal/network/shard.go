@@ -111,6 +111,12 @@ func (nw *Network) runSharded(maxTime int64, shards int) (int64, error) {
 		s.closeWindows()
 		nw.stats.merge(s)
 	}
+	if nw.Par.Check {
+		// After the merge so the exactly-once ledger sees machine totals.
+		if err := nw.checkQuiescence(); err != nil {
+			return 0, err
+		}
+	}
 	nw.stats.closeWindows()
 	nw.stats.renderUtil(nw.Par.UtilSampleWindow, nw.linkCount)
 	return nw.stats.FinishTime, nil
@@ -121,9 +127,12 @@ func (nw *Network) runSharded(maxTime int64, shards int) (int64, error) {
 // on the same iteration and the barrier count stays balanced.
 //
 // The memory discipline: a shard's outboxes and its err/inMin fields are
-// written only between barriers in which no other shard reads them, and the
-// barrier's atomics order every write before the crossing against every
-// read after it.
+// written only in the drain span (between the window barrier and the next
+// inMin barrier), in which no other shard reads them; the barrier's atomics
+// order every write before a crossing against every read after it. A window
+// error therefore cannot be published from inside processUntil - the other
+// shards are concurrently reading err for the same iteration's exit vote -
+// so it is staged in pend and published at the top of the next iteration.
 func (e *engine) run(maxTime, window int64, wg *sync.WaitGroup) {
 	if wg != nil {
 		defer wg.Done()
@@ -133,7 +142,14 @@ func (e *engine) run(maxTime, window int64, wg *sync.WaitGroup) {
 		e.maybeRunCPU(n)
 	}
 	nw.barrier.Await() // initial injections scheduled; outboxes stable (empty)
+	var pend error
 	for {
+		if pend != nil {
+			if e.err == nil {
+				e.err = pend
+			}
+			pend = nil
+		}
 		e.drainInboxes()
 		if e.evq.len() > 0 {
 			e.inMin = e.evq.top().t
@@ -156,7 +172,7 @@ func (e *engine) run(maxTime, window int64, wg *sync.WaitGroup) {
 			return
 		}
 		if err := e.processUntil(gmin+window, maxTime); err != nil {
-			e.err = err
+			pend = err
 		}
 		nw.barrier.Await() // window processed; outboxes and err published
 	}
@@ -175,6 +191,14 @@ func (e *engine) drainInboxes() {
 		box := src.out[e.id]
 		for j := range box {
 			m := &box[j]
+			if e.par.Check && e.err == nil {
+				// The window protocol's whole correctness argument: every
+				// cross-shard effect must land at or after this shard's
+				// clock. A violation is published at the next barrier.
+				if v := e.checkInbound(m); v != nil {
+					e.err = v
+				}
+			}
 			if m.kind == evArrive {
 				pid := e.allocPkt()
 				e.pkts[pid] = m.pkt

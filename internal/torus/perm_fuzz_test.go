@@ -1,0 +1,55 @@
+package torus
+
+import "testing"
+
+// FuzzPerm checks the keyed Feistel permutation is a bijection on [0, n)
+// for every domain size up to 4096 nodes and arbitrary seeds, and that the
+// derived destination ordering visits every rank except self exactly once.
+func FuzzPerm(f *testing.F) {
+	f.Add(1, uint64(0))
+	f.Add(2, uint64(1))
+	f.Add(3, uint64(42))
+	f.Add(64, uint64(1))
+	f.Add(512, uint64(7))
+	f.Add(4095, uint64(0xDEADBEEF))
+	f.Add(4096, uint64(1))
+	f.Fuzz(func(t *testing.T, n int, seed uint64) {
+		if n < 1 || n > 4096 {
+			t.Skip()
+		}
+		p := NewPerm(n, seed)
+		if p.N() != n {
+			t.Fatalf("NewPerm(%d, %d).N() = %d", n, seed, p.N())
+		}
+		seen := make([]bool, n)
+		for i := 0; i < n; i++ {
+			v := p.At(i)
+			if v < 0 || v >= n {
+				t.Fatalf("Perm(%d, %d).At(%d) = %d out of range", n, seed, i, v)
+			}
+			if seen[v] {
+				t.Fatalf("Perm(%d, %d) maps two inputs to %d (not injective)", n, seed, v)
+			}
+			seen[v] = true
+		}
+		// Injective on a finite domain onto itself => bijective; seen is all
+		// true here by counting. Now the destination ordering built on top:
+		// node self must see every other rank exactly once.
+		self := int(seed % uint64(n))
+		o := NewDestOrder(n, self, seed)
+		if o.Len() != n-1 {
+			t.Fatalf("DestOrder(%d, %d).Len() = %d, want %d", n, self, o.Len(), n-1)
+		}
+		visited := make([]bool, n)
+		for i := 0; i < o.Len(); i++ {
+			d := o.At(i)
+			if d < 0 || d >= n || d == self {
+				t.Fatalf("DestOrder(%d, self=%d).At(%d) = %d invalid", n, self, i, d)
+			}
+			if visited[d] {
+				t.Fatalf("DestOrder(%d, self=%d) visits %d twice", n, self, d)
+			}
+			visited[d] = true
+		}
+	})
+}
