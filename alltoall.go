@@ -98,7 +98,11 @@ type Calib = model.Calib
 // DefaultCalib returns the constants measured in the paper (Section 3).
 func DefaultCalib() Calib { return model.DefaultCalib() }
 
-// Run executes one all-to-all with the given strategy.
+// Run executes one all-to-all with the given strategy. It is the legacy
+// struct-options entry point, kept as a thin wrapper over the same internal
+// configuration; prefer RunContext, which adds cancellation, functional
+// options, and observability (see the Option docs for the precedence
+// rules).
 func Run(strat Strategy, opts Options) (Result, error) {
 	return collective.Run(strat, opts)
 }

@@ -1,0 +1,103 @@
+package alltoall
+
+import (
+	"context"
+
+	"alltoall/internal/collective"
+	"alltoall/internal/network"
+	"alltoall/internal/observe"
+)
+
+// Option configures a RunContext call. Options are applied in argument
+// order over a zero configuration, so a later option overrides an earlier
+// one.
+//
+// Configuration precedence, documented here once and holding everywhere:
+// an explicit Option wins over the corresponding Options/Params struct
+// field (options are applied after WithOptions/WithParams), and any field
+// left at its zero value takes the library default (DefaultParams,
+// DefaultCalib, Burst 2, PaceFraction 0.95, and a MaxTime derived from the
+// peak-time model). The one asymmetry: checking is enable-only - either
+// WithCheck(true) or Params.Check turns the invariant checker on.
+type Option func(*collective.Options)
+
+// WithOptions seeds the whole legacy Options struct; later options
+// override individual fields. It is the bridge for callers migrating from
+// Run to RunContext.
+func WithOptions(o Options) Option { return func(dst *Options) { *dst = o } }
+
+// WithShape sets the torus/mesh partition (required).
+func WithShape(s Shape) Option { return func(o *Options) { o.Shape = s } }
+
+// WithMsgBytes sets the per-pair payload m in bytes (required, >= 1).
+func WithMsgBytes(m int) Option { return func(o *Options) { o.MsgBytes = m } }
+
+// WithSeed sets the randomization seed for destination orders.
+func WithSeed(seed uint64) Option { return func(o *Options) { o.Seed = seed } }
+
+// WithShards selects the deterministic sharded engine with n workers
+// (results are byte-identical to the serial engine; 0 or 1 stays serial).
+func WithShards(n int) Option { return func(o *Options) { o.Shards = n } }
+
+// WithCheck enables the runtime invariant checker (~1.4x simulation time).
+func WithCheck(on bool) Option { return func(o *Options) { o.Check = on } }
+
+// WithParams sets the simulated machine parameters (zero value: DefaultParams).
+func WithParams(p Params) Option { return func(o *Options) { o.Par = p } }
+
+// WithCalib sets the analytic-model calibration constants (zero value:
+// DefaultCalib).
+func WithCalib(c Calib) Option { return func(o *Options) { o.Calib = c } }
+
+// WithMaxTime bounds the simulated time before the run aborts (0 derives a
+// generous bound from the peak-time model).
+func WithMaxTime(t int64) Option { return func(o *Options) { o.MaxTime = t } }
+
+// WithObserver installs an observer on the run; pass a *Collector to get
+// link/VC utilization, head-of-line-blocking attribution, FIFO watermarks,
+// and a windowed trace. The run's Result.Observed then carries the
+// collector's Summary. Observation never perturbs the simulation; a nil
+// observer (the default) costs one predicted branch per event.
+func WithObserver(obs Observer) Option { return func(o *Options) { o.Observer = obs } }
+
+// RunContext executes one all-to-all with the given strategy under a
+// context. Cancellation aborts the simulation promptly (the serial engine
+// polls between events; the sharded engine checks at its window barriers)
+// and surfaces an error wrapping ErrCanceled.
+//
+//	obs := alltoall.NewCollector(alltoall.ObserveConfig{})
+//	res, err := alltoall.RunContext(ctx, alltoall.AR,
+//		alltoall.WithShape(alltoall.NewTorus(16, 8, 8)),
+//		alltoall.WithMsgBytes(1024),
+//		alltoall.WithObserver(obs))
+func RunContext(ctx context.Context, strat Strategy, opts ...Option) (Result, error) {
+	var o Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return collective.RunContext(ctx, strat, o)
+}
+
+// ErrCanceled is the sentinel wrapped by errors a canceled run returns.
+var ErrCanceled = network.ErrCanceled
+
+// Observer taps the simulator's hot path for instrumentation; see
+// WithObserver. Collector is the standard implementation.
+type Observer = network.Observer
+
+// Collector gathers per-link/per-VC traffic, head-of-line blocking, FIFO
+// watermarks, and CPU occupancy for a run (or an accumulated sweep); see
+// the observe package for details. Use NewCollector.
+type Collector = observe.Collector
+
+// ObserveConfig tunes a Collector (zero value: sensible defaults).
+type ObserveConfig = observe.Config
+
+// NewCollector returns a Collector with the given configuration (zero
+// value for defaults). A collector may accumulate several runs on one
+// shape; Reset clears it.
+func NewCollector(cfg ObserveConfig) *Collector { return observe.New(cfg) }
+
+// Summary is the stable run-level digest a Collector produces, returned on
+// Result.Observed.
+type Summary = observe.Summary

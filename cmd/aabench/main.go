@@ -29,11 +29,17 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"alltoall/internal/experiments"
 	"alltoall/internal/parallel"
+	"alltoall/internal/report"
 )
+
+// benchSchemaVersion identifies the -bench-json document layout; bump on
+// any breaking change to field names or semantics.
+const benchSchemaVersion = 1
 
 // benchExperiment is one experiment's perf record in the -bench-json file.
 type benchExperiment struct {
@@ -48,20 +54,44 @@ type benchExperiment struct {
 // benchReport is the -bench-json document: enough context to compare
 // apples to apples across commits and machines.
 type benchReport struct {
-	GoVersion    string            `json:"go_version"`
-	GOMAXPROCS   int               `json:"gomaxprocs"`
-	Workers      int               `json:"workers"`
-	Shards       int               `json:"shards"` // 0 = automatic per run
-	Experiments  []benchExperiment `json:"experiments"`
-	TotalSeconds float64           `json:"total_seconds"`
-	TotalRuns    int64             `json:"total_runs"`
-	TotalEvents  int64             `json:"total_events"`
-	EventsPerSec float64           `json:"events_per_sec"`
+	SchemaVersion int               `json:"schema_version"`
+	GoVersion     string            `json:"go_version"`
+	GOMAXPROCS    int               `json:"gomaxprocs"`
+	Workers       int               `json:"workers"`
+	Shards        int               `json:"shards"` // 0 = automatic per run
+	Experiments   []benchExperiment `json:"experiments"`
+	TotalSeconds  float64           `json:"total_seconds"`
+	TotalRuns     int64             `json:"total_runs"`
+	TotalEvents   int64             `json:"total_events"`
+	EventsPerSec  float64           `json:"events_per_sec"`
 }
 
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "aabench: "+format+"\n", args...)
 	os.Exit(2)
+}
+
+// observedTable renders one experiment's per-run observations: where each
+// run's traffic concentrated and how much head-of-line blocking it saw.
+func observedTable(id string, sink *experiments.TraceSink) *report.Table {
+	t := report.NewTable(fmt.Sprintf("%s observed (schema v%d)", id, experiments.ObserveSchemaVersion),
+		"run", "sat", "util", "max link", "hol", "inj fifo B")
+	for _, r := range sink.Runs() {
+		if !strings.HasPrefix(r.Label, id+" ") {
+			continue
+		}
+		s := r.Summary
+		var u float64
+		for _, v := range s.UtilByDim {
+			if v > u {
+				u = v
+			}
+		}
+		t.AddRow(strings.TrimPrefix(r.Label, id+" "), s.SaturatedDim,
+			fmt.Sprintf("%.1f%%", 100*u), fmt.Sprintf("%.1f%%", 100*s.MaxLinkUtil),
+			s.HoLBlocked, s.MaxInjFIFOBytes)
+	}
+	return t
 }
 
 func main() {
@@ -74,6 +104,8 @@ func main() {
 	workers := flag.Int("j", 0, "parallel workers per experiment (0 = all cores, 1 = serial)")
 	shards := flag.Int("shards", 0, "event-engine shards per run (0 = auto, 1 = serial engine)")
 	checkInv := flag.Bool("check", false, "run every simulation with the runtime invariant checker (~1.4x slower)")
+	observeRuns := flag.Bool("observe", false, "instrument every run and print a per-run observation table after each experiment")
+	traceOut := flag.String("trace-out", "", "write every run's windowed observation trace as one JSONL file (implies -observe)")
 	quiet := flag.Bool("quiet", false, "suppress per-row progress lines on stderr")
 	benchJSON := flag.String("bench-json", "", "write a machine-readable perf report to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -114,11 +146,16 @@ func main() {
 			f.Close()
 		}()
 	}
-	report := benchReport{
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Workers:    parallel.Workers(*workers),
-		Shards:     *shards,
+	perf := benchReport{
+		SchemaVersion: benchSchemaVersion,
+		GoVersion:     runtime.Version(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Workers:       parallel.Workers(*workers),
+		Shards:        *shards,
+	}
+	var sink *experiments.TraceSink
+	if *observeRuns || *traceOut != "" {
+		sink = experiments.NewTraceSink(*traceOut != "")
 	}
 	failed := false
 	for _, id := range ids {
@@ -128,6 +165,8 @@ func main() {
 		}
 		metrics := &experiments.Metrics{}
 		cfg.Metrics = metrics
+		cfg.Trace = sink
+		cfg.TracePrefix = id
 		start := time.Now()
 		table, err := runner(cfg)
 		if err != nil {
@@ -140,7 +179,7 @@ func main() {
 		}
 		elapsed := time.Since(start)
 		sec := elapsed.Seconds()
-		report.Experiments = append(report.Experiments, benchExperiment{
+		perf.Experiments = append(perf.Experiments, benchExperiment{
 			Experiment:   id,
 			Seconds:      sec,
 			Runs:         metrics.Runs(),
@@ -148,9 +187,9 @@ func main() {
 			EventsPerSec: float64(metrics.Events()) / sec,
 			RunsPerSec:   float64(metrics.Runs()) / sec,
 		})
-		report.TotalSeconds += sec
-		report.TotalRuns += metrics.Runs()
-		report.TotalEvents += metrics.Events()
+		perf.TotalSeconds += sec
+		perf.TotalRuns += metrics.Runs()
+		perf.TotalEvents += metrics.Events()
 		if *csv {
 			if err := table.WriteCSV(os.Stdout); err != nil {
 				fatalf("%v", err)
@@ -164,17 +203,36 @@ func main() {
 				id, elapsed.Round(time.Millisecond), parallel.Workers(*workers),
 				metrics.Runs(), ev/1e6, ev/1e6/sec)
 		}
+		if *observeRuns && !*csv {
+			if err := observedTable(id, sink).Write(os.Stdout); err != nil {
+				fatalf("%v", err)
+			}
+			fmt.Println()
+		}
 	}
-	if report.TotalSeconds > 0 {
-		report.EventsPerSec = float64(report.TotalEvents) / report.TotalSeconds
+	if perf.TotalSeconds > 0 {
+		perf.EventsPerSec = float64(perf.TotalEvents) / perf.TotalSeconds
 	}
 	if *benchJSON != "" {
-		buf, err := json.MarshalIndent(report, "", "  ")
+		buf, err := json.MarshalIndent(perf, "", "  ")
 		if err != nil {
 			fatalf("-bench-json: %v", err)
 		}
 		if err := os.WriteFile(*benchJSON, append(buf, '\n'), 0o644); err != nil {
 			fatalf("-bench-json: %v", err)
+		}
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatalf("-trace-out: %v", err)
+		}
+		if err := sink.WriteJSONL(f); err != nil {
+			f.Close()
+			fatalf("-trace-out: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("-trace-out: %v", err)
 		}
 	}
 	if *memprofile != "" {

@@ -6,9 +6,12 @@
 //	aasim -shape 8x32x16 -strategy TPS -msg 1024
 //	aasim -shape 8x8x4M -strategy AR -msg 240     # M marks a mesh dimension
 //	aasim -shape 8x8x8 -msg 1920 -shards 4        # window-parallel engine
+//	aasim -shape 16x8x8 -msg 240 -observe         # bottleneck attribution
+//	aasim -shape 16x8x8 -msg 240 -observe -trace-out run.jsonl
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +22,7 @@ import (
 	"time"
 
 	"alltoall"
+	"alltoall/internal/report"
 )
 
 // parseShape accepts "8", "8x8", "8x32x16", with an optional M suffix per
@@ -90,6 +94,9 @@ func main() {
 	burst := flag.Int("burst", 0, "packets per destination visit (0 = default)")
 	shards := flag.Int("shards", 1, "event-engine shards; >1 parallelizes this run across cores (identical output)")
 	checkInv := flag.Bool("check", false, "enable the runtime invariant checker (~1.4x slower; fails with a node/time-stamped diagnostic on violation)")
+	observe := flag.Bool("observe", false, "instrument the run and print a bottleneck-attribution report")
+	observeWindow := flag.Int64("observe-window", 0, "observation bucket width in time units (0 = default)")
+	traceOut := flag.String("trace-out", "", "write the per-window observation trace as JSONL to this file (implies -observe)")
 	dump := flag.String("dump", "", "file for a network state dump if the run stalls")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -100,17 +107,27 @@ func main() {
 		fmt.Fprintf(os.Stderr, "aasim: %v\n", err)
 		os.Exit(2)
 	}
+	var obs *alltoall.Collector
+	if *observe || *traceOut != "" {
+		obs = alltoall.NewCollector(alltoall.ObserveConfig{Window: *observeWindow})
+	}
 	stopCPU := startCPUProfile(*cpuprofile)
 	start := time.Now()
-	res, err := alltoall.Run(alltoall.Strategy(*strat), alltoall.Options{
-		Shape:     shape,
-		MsgBytes:  *msg,
-		Seed:      *seed,
-		Burst:     *burst,
-		Shards:    *shards,
-		Check:     *checkInv,
-		DebugDump: *dump,
-	})
+	opts := []alltoall.Option{
+		alltoall.WithOptions(alltoall.Options{
+			Shape:     shape,
+			MsgBytes:  *msg,
+			Seed:      *seed,
+			Burst:     *burst,
+			Shards:    *shards,
+			Check:     *checkInv,
+			DebugDump: *dump,
+		}),
+	}
+	if obs != nil {
+		opts = append(opts, alltoall.WithObserver(obs))
+	}
+	res, err := alltoall.RunContext(context.Background(), alltoall.Strategy(*strat), opts...)
 	elapsed := time.Since(start)
 	stopCPU()
 	writeMemProfile(*memprofile)
@@ -140,5 +157,29 @@ func main() {
 	}
 	if res.Strategy == alltoall.VMesh {
 		fmt.Printf("virtual mesh    %dx%d, phases %v units\n", res.VMeshCols, res.VMeshRows, res.PhaseTimes)
+	}
+	if obs != nil {
+		fmt.Println()
+		if err := (report.Attribution{}).Write(os.Stdout, obs); err != nil {
+			fmt.Fprintf(os.Stderr, "aasim: attribution: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aasim: -trace-out: %v\n", err)
+			os.Exit(1)
+		}
+		if err := obs.WriteTrace(f); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "aasim: -trace-out: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "aasim: -trace-out: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace           %s\n", *traceOut)
 	}
 }

@@ -1,11 +1,13 @@
 package collective
 
 import (
+	"context"
 	"fmt"
 	"os"
 
 	"alltoall/internal/model"
 	"alltoall/internal/network"
+	"alltoall/internal/observe"
 	"alltoall/internal/torus"
 )
 
@@ -105,6 +107,17 @@ type Options struct {
 	// DebugDump, when non-empty, names a file to which the full network
 	// state is written if a run stalls or exceeds MaxTime (diagnostics).
 	DebugDump string
+
+	// Observer, when non-nil, taps the simulation for instrumentation
+	// (typically an *observe.Collector). Multi-phase strategies report each
+	// phase as one observed run to the same observer. When the observer is
+	// an observe.Collector, Result.Observed carries its summary.
+	Observer network.Observer
+
+	// cancel, when non-nil, aborts the run when closed; set from a
+	// context's Done channel by RunContext. The serial engine polls it
+	// between events, the sharded engine at window barriers.
+	cancel <-chan struct{}
 }
 
 func (o *Options) fill() error {
@@ -177,7 +190,7 @@ func (o *Options) network(sources []network.Source, h network.Handler) (*network
 		if err := c.nw.Reset(sources, h); err != nil {
 			return nil, err
 		}
-		return c.nw, nil
+		return o.instrument(c.nw), nil
 	}
 	nw, err := network.New(o.Shape, o.Par, sources, h)
 	if err != nil {
@@ -186,7 +199,16 @@ func (o *Options) network(sources []network.Source, h network.Handler) (*network
 	if o.Cache != nil {
 		o.Cache.nw = nw
 	}
-	return nw, nil
+	return o.instrument(nw), nil
+}
+
+// instrument installs this run's observer and cancellation channel on a
+// network returned by o.network. Set explicitly every run (including to
+// nil) so cached networks never leak a previous run's observer.
+func (o *Options) instrument(nw *network.Network) *network.Network {
+	nw.SetObserver(o.Observer)
+	nw.SetCancel(o.cancel)
+	return nw
 }
 
 // runNet drives one simulation with this run's engine selection: the
@@ -246,6 +268,11 @@ type Result struct {
 	VMeshRows, VMeshCols int
 	// PhaseTimes records per-phase completion for multi-phase strategies.
 	PhaseTimes []int64
+
+	// Observed is the observability summary for the run, present when
+	// Options.Observer is an *observe.Collector (see alltoall.WithObserver).
+	// Multi-phase strategies fold all phases into one summary.
+	Observed *observe.Summary
 }
 
 func (o *Options) newResult(strat Strategy) Result {
@@ -285,6 +312,23 @@ func (o *Options) finishResult(r *Result, t int64, st *network.Stats) {
 			r.MaxCPUUtil = float64(max) / float64(t)
 		}
 	}
+	if c, ok := o.Observer.(*observe.Collector); ok && c != nil {
+		r.Observed = c.Summary()
+	}
+}
+
+// RunContext executes one all-to-all under a context: cancellation aborts
+// the simulation (the serial engine polls between events, the sharded
+// engine at its window barriers) and the run fails with an error wrapping
+// network.ErrCanceled.
+func RunContext(ctx context.Context, strat Strategy, opts Options) (Result, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+		opts.cancel = ctx.Done()
+	}
+	return Run(strat, opts)
 }
 
 // Run dispatches to the strategy implementation.

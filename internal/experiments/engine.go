@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"alltoall/internal/collective"
+	"alltoall/internal/observe"
 	"alltoall/internal/parallel"
 )
 
@@ -68,14 +69,25 @@ func (c Config) rowProgress(format string, args ...any) {
 }
 
 // runCached executes one collective run through a worker-local network
-// cache, recording metrics on success.
+// cache, recording metrics (and, when tracing, the run's observation) on
+// success.
 func (c Config) runCached(strat collective.Strategy, opts collective.Options, cache *collective.NetCache) (collective.Result, error) {
 	opts.Cache = cache
+	var obs *observe.Collector
+	if c.Trace != nil {
+		obs = observe.New(observe.Config{})
+		opts.Observer = obs
+	}
 	res, err := collective.Run(strat, opts)
 	if err != nil {
 		return res, err
 	}
 	c.Metrics.note(res)
+	if c.Trace != nil {
+		if err := c.Trace.note(c.TracePrefix, strat, &opts, obs); err != nil {
+			return res, err
+		}
+	}
 	return res, nil
 }
 

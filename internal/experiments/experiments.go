@@ -62,6 +62,15 @@ type Config struct {
 	// 1.4x simulation time; tables are unchanged when the invariants hold.
 	Check bool
 
+	// Trace, when non-nil, instruments every collective run with an
+	// observe.Collector and records its per-run summary (and, if the sink
+	// keeps traces, its windowed JSONL trace) under TracePrefix. Tables
+	// are unchanged: observation never perturbs a simulation.
+	Trace *TraceSink
+	// TracePrefix labels this experiment's runs in the sink (usually the
+	// experiment id).
+	TracePrefix string
+
 	// batch is the size of the current mapRows fan-out, stamped into the
 	// Config each row callback receives so opts can weigh run-level
 	// against intra-run parallelism.

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"alltoall/internal/collective"
+	"alltoall/internal/observe"
+)
+
+// ObserveSchemaVersion is the schema version of the observation summaries
+// and traces a TraceSink records (observe.SchemaVersion, re-exported so
+// cmd/aabench need not import observe).
+const ObserveSchemaVersion = observe.SchemaVersion
+
+// ObservedRun is one instrumented collective run recorded by a TraceSink:
+// its identifying label, the run-level observation summary, and (when the
+// sink keeps traces) the windowed JSONL trace.
+type ObservedRun struct {
+	Label   string
+	Summary *observe.Summary
+	Trace   []byte
+}
+
+// TraceSink collects per-run observations from an experiment's concurrent
+// workers (Config.Trace). Runs are recorded in completion order under a
+// lock and re-sorted by label on read, so the rendered output is
+// deterministic at any worker count.
+type TraceSink struct {
+	keepTrace bool
+
+	mu   sync.Mutex
+	runs []ObservedRun
+}
+
+// NewTraceSink returns a sink; keepTrace retains each run's windowed JSONL
+// trace (for -trace-out) in addition to its summary.
+func NewTraceSink(keepTrace bool) *TraceSink {
+	return &TraceSink{keepTrace: keepTrace}
+}
+
+// note records one completed run's observation.
+func (t *TraceSink) note(prefix string, strat collective.Strategy, opts *collective.Options, c *observe.Collector) error {
+	r := ObservedRun{
+		Label:   fmt.Sprintf("%s %s %v m=%d seed=%d", prefix, strat, opts.Shape, opts.MsgBytes, opts.Seed),
+		Summary: c.Summary(),
+	}
+	if t.keepTrace {
+		var b bytes.Buffer
+		if err := c.WriteTrace(&b); err != nil {
+			return err
+		}
+		r.Trace = b.Bytes()
+	}
+	t.mu.Lock()
+	t.runs = append(t.runs, r)
+	t.mu.Unlock()
+	return nil
+}
+
+// Runs returns the recorded runs sorted by label; runs sharing a label
+// (repeated configurations) tie-break on content, so the order never
+// depends on worker scheduling.
+func (t *TraceSink) Runs() []ObservedRun {
+	t.mu.Lock()
+	out := append([]ObservedRun(nil), t.runs...)
+	t.mu.Unlock()
+	key := func(r ObservedRun) string {
+		s, _ := json.Marshal(r.Summary)
+		return r.Label + "\x00" + string(s) + "\x00" + string(r.Trace)
+	}
+	sort.Slice(out, func(i, j int) bool { return key(out[i]) < key(out[j]) })
+	return out
+}
+
+// traceRunRecord delimits one run's trace in the concatenated JSONL file.
+type traceRunRecord struct {
+	SchemaVersion int    `json:"schema_version"`
+	Record        string `json:"record"` // "run"
+	Label         string `json:"label"`
+}
+
+// WriteJSONL writes every kept trace as one JSONL stream: a "run" record
+// naming each run, followed by that run's header and window records.
+func (t *TraceSink) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, r := range t.Runs() {
+		if err := enc.Encode(traceRunRecord{
+			SchemaVersion: observe.SchemaVersion,
+			Record:        "run",
+			Label:         r.Label,
+		}); err != nil {
+			return err
+		}
+		if _, err := w.Write(r.Trace); err != nil {
+			return err
+		}
+	}
+	return nil
+}

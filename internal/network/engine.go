@@ -32,6 +32,13 @@ type engine struct {
 	inFlight  int64
 	activeSrc int
 
+	// obs taps the hot path for instrumentation (nil = off: one predicted
+	// branch per hook site). cancel aborts the run when readable; the
+	// serial engine polls it every few thousand events, the sharded engine
+	// once per window barrier.
+	obs    Sink
+	cancel <-chan struct{}
+
 	// Sharded-mode state; shardOf is nil for the serial engine, which makes
 	// every destination local.
 	shardOf []int16
@@ -77,6 +84,8 @@ func (e *engine) resetRunState() {
 	e.inMin = 0
 	e.err = nil
 	e.vio = nil
+	e.obs = nil
+	e.cancel = nil
 	if e.stats != nil && e.stats != &e.nw.stats {
 		e.stats.reset()
 	}
@@ -101,7 +110,17 @@ func (e *engine) freePacket(pid int32) {
 // (t, node, kind, arg) order. It is the whole engine for a serial run
 // (tend = maxInt64) and one window's worth of work for a sharded one.
 func (e *engine) processUntil(tend, maxTime int64) error {
+	poll := 0
 	for e.evq.len() > 0 {
+		if e.cancel != nil {
+			if poll++; poll&8191 == 0 {
+				select {
+				case <-e.cancel:
+					return fmt.Errorf("%w at t=%d (%d events in queue)", ErrCanceled, e.now, e.evq.len())
+				default:
+				}
+			}
+		}
 		if tend != maxInt64 && e.evq.top().t >= tend {
 			return nil
 		}
@@ -255,6 +274,9 @@ func (e *engine) tryQueue(node int32, r *router, q *pktQueue, qIdx int, win int3
 				e.maybeRunCPU(node)
 			}
 			r.recv.push(pid, p.size)
+			if e.obs != nil {
+				e.obs.OnRecvFIFO(node, r.recv.bytes)
+			}
 			e.maybeRunCPU(node)
 			moved = true
 			mask = maskAll
@@ -265,7 +287,7 @@ func (e *engine) tryQueue(node int32, r *router, q *pktQueue, qIdx int, win int3
 			continue
 		}
 		if p.want&*freeMask == 0 {
-			e.noteBlocked(node, p)
+			e.noteBlocked(node, p, q.count, win)
 			i++
 			continue
 		}
@@ -281,7 +303,7 @@ func (e *engine) tryQueue(node int32, r *router, q *pktQueue, qIdx int, win int3
 			mask = maskAll
 			continue
 		}
-		e.noteBlocked(node, p)
+		e.noteBlocked(node, p, q.count, win)
 		i++
 	}
 	if q.count == 0 {
@@ -291,10 +313,16 @@ func (e *engine) tryQueue(node int32, r *router, q *pktQueue, qIdx int, win int3
 }
 
 // noteBlocked starts the escape-eligibility clock for a packet that failed
-// arbitration, and guarantees a retry once the clock expires.
-func (e *engine) noteBlocked(node int32, p *packet) {
+// arbitration, and guarantees a retry once the clock expires. qCount and win
+// describe the queue the packet sits in (depth and arbitration lookahead) so
+// the observer can tell a lone stalled packet from true head-of-line
+// blocking with victims waiting behind the window.
+func (e *engine) noteBlocked(node int32, p *packet, qCount, win int32) {
 	if p.blocked == 0 {
 		p.blocked = e.now
+	}
+	if e.obs != nil {
+		e.obs.OnBlocked(e.now, node, p.inDir, p.vc, p.want, p.blocked, qCount, win)
 	}
 	// Re-arm the escape-maturity wakeup on every failed pass: a coalesced
 	// earlier wakeup will land here again and reschedule, so the chain
@@ -470,6 +498,9 @@ func (e *engine) tryRoute(node int32, r *router, pid int32, p *packet, freeMask 
 	r.out[o] = e.now + int64(p.size)
 	e.stats.LinkBusy[int(node)*numDirs+o] += int64(p.size)
 	e.stats.GrantsByVC[vc]++
+	if e.obs != nil {
+		e.obs.OnGrant(e.now, node, o, int8(vc), p.size)
+	}
 	if w := e.par.UtilSampleWindow; w > 0 {
 		e.stats.noteWindowBusy(e.now, w, p.size)
 	}
@@ -605,6 +636,9 @@ func (e *engine) startCPUOp(node int32, r *router, cost int64) {
 	r.cpuToggle = !r.cpuToggle
 	r.cpuEnd = e.now + cost
 	e.stats.CPUBusy[node] += cost
+	if e.obs != nil {
+		e.obs.OnCPU(e.now, node, cost)
+	}
 	e.evq.push(mkEvent(r.cpuEnd, node, 0, evCPUKick))
 }
 
@@ -658,6 +692,9 @@ func (e *engine) finishCPUOp(node int32, r *router) {
 		fifo := int(spec.Class) % len(r.inj)
 		q := &r.inj[fifo]
 		q.push(pid, spec.Size)
+		if e.obs != nil {
+			e.obs.OnInjFIFO(node, fifo, q.bytes)
+		}
 		r.occMask |= 1 << (numDirs*NumVC + fifo)
 		// Only the freshly injected packet is a new candidate; a targeted
 		// attempt on its FIFO suffices (it only helps if it reached the

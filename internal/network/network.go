@@ -1,11 +1,16 @@
 package network
 
 import (
+	"errors"
 	"fmt"
 
 	"alltoall/internal/parallel"
 	"alltoall/internal/torus"
 )
+
+// ErrCanceled is wrapped by the error a run aborted through SetCancel
+// returns; test with errors.Is.
+var ErrCanceled = errors.New("network: run canceled")
 
 // Directions: 2*dim + 0 is the + direction, 2*dim + 1 is the - direction.
 const numDirs = 6
@@ -190,6 +195,9 @@ type Network struct {
 	traceDir  int
 	traceLog  *[]GrantEvent
 
+	observer Observer        // instrumentation taps (see observer.go); nil = off
+	cancel   <-chan struct{} // run abort signal (see SetCancel); nil = never
+
 	linkCount int
 	stats     Stats
 
@@ -347,8 +355,18 @@ func (nw *Network) Now() int64 {
 	return t
 }
 
-// Stats returns the collected statistics.
-func (nw *Network) Stats() *Stats { return &nw.stats }
+// Stats returns a snapshot of the collected statistics. The snapshot is the
+// caller's to keep: it does not alias live engine state, so it stays valid
+// (and harmless to mutate) across a later Reset or run on the same network.
+func (nw *Network) Stats() *Stats { return nw.stats.clone() }
+
+// SetCancel installs an abort signal for subsequent runs: when ch becomes
+// readable the run stops at the next cancellation point - every window
+// barrier on the sharded engine, every few thousand events on the serial one
+// - and returns an error wrapping ErrCanceled. nil removes the signal. The
+// signal persists across Reset; it is the caller's per-run (or per-sweep)
+// responsibility to install a fresh one.
+func (nw *Network) SetCancel(ch <-chan struct{}) { nw.cancel = ch }
 
 // engineFor returns the engine owning a node's packets in the most recent
 // (or ongoing) run.
@@ -399,6 +417,9 @@ func (nw *Network) RunSharded(maxTime int64, shards int) (int64, error) {
 	if shards > nw.P {
 		shards = nw.P
 	}
+	if nw.observer != nil {
+		nw.observer.BeginRun(nw.Shape, nw.Par)
+	}
 	if shards <= 1 || shardSafeWindow(nw.Par) <= 0 {
 		return nw.runSerial(maxTime)
 	}
@@ -408,6 +429,11 @@ func (nw *Network) RunSharded(maxTime int64, shards int) (int64, error) {
 func (nw *Network) runSerial(maxTime int64) (int64, error) {
 	nw.sharded = false
 	e := &nw.eng
+	e.obs = nil
+	if nw.observer != nil {
+		e.obs = nw.observer.Sink(0, 1, e.lo, e.hi)
+	}
+	e.cancel = nw.cancel
 	e.activeSrc = nw.activeSrc
 	for n := e.lo; n < e.hi; n++ {
 		e.maybeRunCPU(n)
@@ -426,5 +452,8 @@ func (nw *Network) runSerial(maxTime int64) (int64, error) {
 	}
 	nw.stats.closeWindows()
 	nw.stats.renderUtil(nw.Par.UtilSampleWindow, nw.linkCount)
+	if nw.observer != nil {
+		nw.observer.EndRun(nw.stats.FinishTime)
+	}
 	return nw.stats.FinishTime, nil
 }

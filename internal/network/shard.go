@@ -75,6 +75,11 @@ func (nw *Network) runSharded(maxTime int64, shards int) (int64, error) {
 	window := shardSafeWindow(nw.Par)
 	for i := range nw.shards {
 		e := &nw.shards[i]
+		e.obs = nil
+		if nw.observer != nil {
+			e.obs = nw.observer.Sink(i, shards, e.lo, e.hi)
+		}
+		e.cancel = nw.cancel
 		e.activeSrc = 0
 		if nw.sources != nil {
 			for n := e.lo; n < e.hi; n++ {
@@ -119,6 +124,9 @@ func (nw *Network) runSharded(maxTime int64, shards int) (int64, error) {
 	}
 	nw.stats.closeWindows()
 	nw.stats.renderUtil(nw.Par.UtilSampleWindow, nw.linkCount)
+	if nw.observer != nil {
+		nw.observer.EndRun(nw.stats.FinishTime)
+	}
 	return nw.stats.FinishTime, nil
 }
 
@@ -144,6 +152,17 @@ func (e *engine) run(maxTime, window int64, wg *sync.WaitGroup) {
 	nw.barrier.Await() // initial injections scheduled; outboxes stable (empty)
 	var pend error
 	for {
+		// The loop top is inside the drain span (between the window barrier
+		// and the next inMin barrier), the only region where this shard may
+		// publish err - which is also what makes it the cancellation point:
+		// every shard sees the same signal and votes to fail together.
+		if pend == nil && e.cancel != nil {
+			select {
+			case <-e.cancel:
+				pend = fmt.Errorf("%w at t=%d (window barrier)", ErrCanceled, e.now)
+			default:
+			}
+		}
 		if pend != nil {
 			if e.err == nil {
 				e.err = pend

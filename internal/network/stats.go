@@ -88,6 +88,20 @@ func (s *Stats) reset() {
 	*s = Stats{LinkBusy: linkBusy, CPUBusy: cpuBusy, UtilSeries: util, busyWin: busyWin}
 }
 
+// clone returns a deep copy: the per-node and per-window slices are
+// duplicated so the copy shares no memory with live engine state. Backing
+// Network.Stats with a clone is what lets callers keep (or mutate) a
+// snapshot across a later Reset - returning the live struct used to let a
+// sweep's next run silently zero a caller's captured counters.
+func (s *Stats) clone() *Stats {
+	c := *s
+	c.LinkBusy = append([]int64(nil), s.LinkBusy...)
+	c.CPUBusy = append([]int64(nil), s.CPUBusy...)
+	c.UtilSeries = append([]float64(nil), s.UtilSeries...)
+	c.busyWin = append([]int64(nil), s.busyWin...)
+	return &c
+}
+
 // noteWindowBusy accumulates per-window link busy time; window is the
 // sample window size.
 func (s *Stats) noteWindowBusy(now, window int64, size int32) {

@@ -1,0 +1,189 @@
+// Tests live in observe_test so they can drive full collective runs: the
+// import chain collective -> observe forbids an internal test package.
+package observe_test
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"testing"
+
+	"alltoall/internal/collective"
+	"alltoall/internal/observe"
+	"alltoall/internal/torus"
+)
+
+func run(t *testing.T, strat collective.Strategy, shape torus.Shape, shards int, obs *observe.Collector) collective.Result {
+	t.Helper()
+	opts := collective.Options{
+		Shape:    shape,
+		MsgBytes: 240,
+		Seed:     1,
+		Shards:   shards,
+	}
+	if obs != nil { // a typed-nil *Collector must not become a non-nil Observer
+		opts.Observer = obs
+	}
+	res, err := collective.RunContext(context.Background(), strat, opts)
+	if err != nil {
+		t.Fatalf("%s on %v: %v", strat, shape, err)
+	}
+	return res
+}
+
+// TestHoLSignature pins the head-of-line-blocking diagnostic to the paper's
+// Section 5 claim: the counter is quiet on a symmetric torus (adaptive
+// routing balances, nothing saturates ahead of anything) and hot on an
+// asymmetric one (Y/Z dynamic-VC packets stuck behind saturated X links),
+// where attribution must also name X and show idle Y/Z capacity.
+func TestHoLSignature(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full collective runs")
+	}
+
+	obs := observe.New(observe.Config{})
+	run(t, collective.StratAR, torus.New(8, 8, 8), 1, obs)
+	sym := obs.Summary()
+	if sym.SaturatedDim == "" {
+		t.Fatalf("symmetric run recorded no traffic")
+	}
+
+	obs2 := observe.New(observe.Config{})
+	res := run(t, collective.StratAR, torus.New(16, 8, 8), 1, obs2)
+	asym := obs2.Summary()
+
+	if asym.SaturatedDim != "x" {
+		t.Errorf("asymmetric AR: saturated dim = %q, want x", asym.SaturatedDim)
+	}
+	if asym.UtilByDim[0] < 0.7 {
+		t.Errorf("asymmetric AR: X util = %.2f, want >= 0.7 (saturated)", asym.UtilByDim[0])
+	}
+	for d := 1; d < torus.NumDims; d++ {
+		if asym.UtilByDim[d] > 0.75*asym.UtilByDim[0] {
+			t.Errorf("asymmetric AR: dim %d util %.2f not clearly below X's %.2f",
+				d, asym.UtilByDim[d], asym.UtilByDim[0])
+		}
+	}
+	if asym.HoLBlocked == 0 {
+		t.Errorf("asymmetric AR: HoL counter is zero, want positive")
+	}
+	// The symmetric machine has no structurally saturated dimension for
+	// packets to block behind: with the calibrated thresholds the counter
+	// must be exactly zero (no block on 8x8x8 survives HoLDelay with
+	// HoLMinQueue victims behind it).
+	if sym.HoLBlocked != 0 {
+		t.Errorf("symmetric HoL = %d, want 0", sym.HoLBlocked)
+	}
+	if res.Observed == nil || res.Observed.HoLBlocked != asym.HoLBlocked {
+		t.Errorf("Result.Observed not carrying the collector summary: %+v", res.Observed)
+	}
+}
+
+// TestTPSBalanced: on the same asymmetric shape the Two Phase Schedule's
+// X traffic is uniform across links and the HoL counter stays cold.
+func TestTPSBalanced(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full collective runs")
+	}
+	obsAR := observe.New(observe.Config{})
+	run(t, collective.StratAR, torus.New(16, 8, 8), 1, obsAR)
+	obsTPS := observe.New(observe.Config{})
+	run(t, collective.StratTPS, torus.New(16, 8, 8), 1, obsTPS)
+	ar, tps := obsAR.Summary(), obsTPS.Summary()
+	if tps.HoLBlocked*10 > ar.HoLBlocked {
+		t.Errorf("TPS HoL %d not << AR HoL %d", tps.HoLBlocked, ar.HoLBlocked)
+	}
+	// Balanced: the busiest TPS link is close to the dimension mean, where
+	// AR's ragged adaptive schedule leaves a wider spread.
+	if tps.UtilByDim[0] > 0 && tps.MaxLinkUtil > 1.15*tps.UtilByDim[0] {
+		t.Errorf("TPS max link util %.3f vs X mean %.3f: not balanced", tps.MaxLinkUtil, tps.UtilByDim[0])
+	}
+}
+
+// TestObserverShardIdentity: an observed sharded run must produce the same
+// Summary and the same trace bytes as the serial engine - observation is
+// part of the determinism contract.
+func TestObserverShardIdentity(t *testing.T) {
+	shape := torus.New(8, 4, 4)
+	obsSerial := observe.New(observe.Config{})
+	resSerial := run(t, collective.StratAR, shape, 1, obsSerial)
+	obsSharded := observe.New(observe.Config{})
+	resSharded := run(t, collective.StratAR, shape, 4, obsSharded)
+
+	if resSerial.Time != resSharded.Time {
+		t.Fatalf("finish time diverged: serial %d, sharded %d", resSerial.Time, resSharded.Time)
+	}
+	if !reflect.DeepEqual(obsSerial.Summary(), obsSharded.Summary()) {
+		t.Errorf("summaries diverged:\nserial:  %+v\nsharded: %+v", obsSerial.Summary(), obsSharded.Summary())
+	}
+	var a, b bytes.Buffer
+	if err := obsSerial.WriteTrace(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := obsSharded.WriteTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("trace bytes diverged (serial %d bytes, sharded %d bytes)", a.Len(), b.Len())
+	}
+}
+
+// TestObserverDoesNotPerturb: the simulation's outcome must be identical
+// with and without an observer installed.
+func TestObserverDoesNotPerturb(t *testing.T) {
+	shape := torus.New(8, 4, 4)
+	bare := run(t, collective.StratAR, shape, 1, nil)
+	obs := observe.New(observe.Config{})
+	observed := run(t, collective.StratAR, shape, 1, obs)
+	if bare.Time != observed.Time || bare.PacketsInjected != observed.PacketsInjected ||
+		bare.Events != observed.Events {
+		t.Errorf("observer perturbed the run: bare {t=%d pkts=%d ev=%d}, observed {t=%d pkts=%d ev=%d}",
+			bare.Time, bare.PacketsInjected, bare.Events,
+			observed.Time, observed.PacketsInjected, observed.Events)
+	}
+}
+
+// TestCollectorAccumulatesAndResets covers multi-run folding and reuse.
+func TestCollectorAccumulatesAndResets(t *testing.T) {
+	shape := torus.New(4, 4, 2)
+	obs := observe.New(observe.Config{})
+	run(t, collective.StratAR, shape, 1, obs)
+	one := obs.Summary()
+	run(t, collective.StratAR, shape, 1, obs)
+	two := obs.Summary()
+	if two.Runs != 2 || two.Finish != 2*one.Finish {
+		t.Errorf("accumulation: runs=%d finish=%d, want 2 runs at finish %d", two.Runs, two.Finish, 2*one.Finish)
+	}
+	if two.BytesByDim[0] != 2*one.BytesByDim[0] {
+		t.Errorf("accumulated X bytes %d, want %d", two.BytesByDim[0], 2*one.BytesByDim[0])
+	}
+	obs.Reset()
+	run(t, collective.StratAR, shape, 1, obs)
+	again := obs.Summary()
+	if !reflect.DeepEqual(one, again) {
+		t.Errorf("post-Reset summary diverged from first run:\n first: %+v\n again: %+v", one, again)
+	}
+
+	// Rebinding to a new shape resets implicitly.
+	run(t, collective.StratAR, torus.New(4, 2, 2), 1, obs)
+	if s := obs.Summary(); s.Runs != 1 || s.Shape != torus.New(4, 2, 2).String() {
+		t.Errorf("shape rebind: %+v", s)
+	}
+}
+
+// TestContextCancel: a canceled context aborts serial and sharded runs.
+func TestContextCancel(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_, err := collective.RunContext(ctx, collective.StratAR, collective.Options{
+			Shape:    torus.New(8, 8, 8),
+			MsgBytes: 240,
+			Seed:     1,
+			Shards:   shards,
+		})
+		if err == nil {
+			t.Fatalf("shards=%d: canceled context did not abort the run", shards)
+		}
+	}
+}
