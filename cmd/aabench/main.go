@@ -104,6 +104,7 @@ func main() {
 	workers := flag.Int("j", 0, "parallel workers per experiment (0 = all cores, 1 = serial)")
 	shards := flag.Int("shards", 0, "event-engine shards per run (0 = auto, 1 = serial engine)")
 	checkInv := flag.Bool("check", false, "run every simulation with the runtime invariant checker (~1.4x slower)")
+	eventq := flag.String("eventq", "", "event queue: calendar (default) or heap (identical results; perf ablation)")
 	observeRuns := flag.Bool("observe", false, "instrument every run and print a per-run observation table after each experiment")
 	traceOut := flag.String("trace-out", "", "write every run's windowed observation trace as one JSONL file (implies -observe)")
 	quiet := flag.Bool("quiet", false, "suppress per-row progress lines on stderr")
@@ -125,6 +126,7 @@ func main() {
 		Workers:    *workers,
 		Shards:     *shards,
 		Check:      *checkInv,
+		EventQueue: *eventq,
 	}
 	if !*quiet {
 		cfg.Progress = os.Stderr

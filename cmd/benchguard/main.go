@@ -1,0 +1,329 @@
+// Command benchguard parses `go test -bench` output and guards against
+// performance regressions.
+//
+// Record a baseline from benchmark output (stdin or files):
+//
+//	go test -bench 'EventQueue' -benchtime 2s ./internal/network | \
+//	    benchguard -record -out BENCH_2026-08-08.json
+//
+// Compare a fresh run against a baseline recorded on the SAME machine,
+// failing (exit 1) when any benchmark present in both lost more than
+// -threshold of its events/s:
+//
+//	go test -bench 'EventQueue' ./internal/network | \
+//	    benchguard -baseline BENCH_2026-08-08.json
+//
+// Compare a RATIO of two benchmarks against the baseline's ratio:
+//
+//	go test -bench 'EventQueue' ./internal/network | \
+//	    benchguard -baseline BENCH_2026-08-08.json \
+//	    -ratio 'EventQueueCalendar/EventQueueHeap'
+//
+// Ratio mode exists because absolute events/s do not transfer between
+// machines: a baseline committed to the repository was measured on one
+// box, CI runs on another. The calendar-vs-heap speedup ratio cancels the
+// hardware term, so a committed baseline stays meaningful anywhere. Use
+// absolute mode only when baseline and candidate ran on the same runner
+// (e.g. base-SHA vs head-SHA within one CI job).
+//
+// Benchmarks appearing in only one side are reported but never fail the
+// check, so the guard tolerates baselines recorded before a benchmark
+// existed. The threshold is deliberately generous (default 10%) - this is
+// a smoke alarm for real regressions, not a microbenchmark referee.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the committed JSON schema.
+type Baseline struct {
+	SchemaVersion int               `json:"schema_version"`
+	Note          string            `json:"note,omitempty"`
+	GOOS          string            `json:"goos"`
+	GOARCH        string            `json:"goarch"`
+	CPU           string            `json:"cpu,omitempty"`
+	Benchmarks    map[string]Sample `json:"benchmarks"`
+}
+
+// Sample is one benchmark's best observed metrics across the parsed runs
+// (max events/s, min ns/op: the least-noisy estimate of the code's speed).
+type Sample struct {
+	N            int     `json:"n"` // samples folded in
+	NsPerOp      float64 `json:"ns_per_op"`
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+}
+
+const schemaVersion = 1
+
+func main() {
+	var (
+		record    = flag.Bool("record", false, "emit a baseline JSON from the input instead of comparing")
+		out       = flag.String("out", "", "output path for -record (default stdout)")
+		baseline  = flag.String("baseline", "", "baseline JSON to compare against")
+		threshold = flag.Float64("threshold", 0.10, "allowed fractional events/s loss before failing")
+		ratio     = flag.String("ratio", "", "compare the A/B events-per-sec ratio of two benchmarks (\"A/B\") instead of absolute values")
+		note      = flag.String("note", "", "free-form note stored in the recorded baseline")
+	)
+	flag.Parse()
+
+	in, err := openInputs(flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+	cur, cpu, err := parseBench(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(cur) == 0 {
+		fatal(fmt.Errorf("no benchmark results found in input"))
+	}
+
+	if *record {
+		b := Baseline{
+			SchemaVersion: schemaVersion,
+			Note:          *note,
+			GOOS:          runtime.GOOS,
+			GOARCH:        runtime.GOARCH,
+			CPU:           cpu,
+			Benchmarks:    cur,
+		}
+		w := io.Writer(os.Stdout)
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(b); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *baseline == "" {
+		fatal(fmt.Errorf("need -record or -baseline"))
+	}
+	data, err := os.ReadFile(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		fatal(fmt.Errorf("%s: %v", *baseline, err))
+	}
+
+	var failures []string
+	if *ratio != "" {
+		failures, err = checkRatio(base.Benchmarks, cur, *ratio, *threshold)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		failures = checkAbsolute(base.Benchmarks, cur, *threshold)
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "REGRESSION:", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchguard: ok")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchguard:", err)
+	os.Exit(2)
+}
+
+func openInputs(paths []string) (io.Reader, error) {
+	if len(paths) == 0 {
+		return os.Stdin, nil
+	}
+	var rs []io.Reader
+	for _, p := range paths {
+		if p == "-" {
+			rs = append(rs, os.Stdin)
+			continue
+		}
+		f, err := os.Open(p)
+		if err != nil {
+			return nil, err
+		}
+		rs = append(rs, f)
+	}
+	return io.MultiReader(rs...), nil
+}
+
+// parseBench extracts per-benchmark samples from `go test -bench` output.
+// Repeated runs of one benchmark fold into a single best-observed sample.
+// Also returns the "cpu:" header line when present.
+func parseBench(r io.Reader) (map[string]Sample, string, error) {
+	out := make(map[string]Sample)
+	cpu := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "cpu:"); ok {
+			cpu = strings.TrimSpace(rest)
+			continue
+		}
+		name, s, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		prev, seen := out[name]
+		if !seen {
+			out[name] = s
+			continue
+		}
+		prev.N += s.N
+		if s.NsPerOp < prev.NsPerOp {
+			prev.NsPerOp = s.NsPerOp
+		}
+		if s.EventsPerSec > prev.EventsPerSec {
+			prev.EventsPerSec = s.EventsPerSec
+		}
+		out[name] = prev
+	}
+	return out, cpu, sc.Err()
+}
+
+// parseBenchLine parses one result line, e.g.
+//
+//	BenchmarkEventQueueHeap-4  5000000  207.3 ns/op  4823456 events/s
+//
+// The name is normalized by stripping the "Benchmark" prefix and the
+// trailing -GOMAXPROCS suffix, so "BenchmarkEventQueueHeap-4" and
+// "BenchmarkEventQueueHeap-8" fold into "EventQueueHeap".
+func parseBenchLine(line string) (string, Sample, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", Sample{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	if i := strings.LastIndexByte(name, '-'); i >= 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	if _, err := strconv.Atoi(fields[1]); err != nil {
+		return "", Sample{}, false // not an iteration count
+	}
+	s := Sample{N: 1}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", Sample{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			s.NsPerOp = v
+		case "events/s":
+			s.EventsPerSec = v
+		}
+	}
+	if s.NsPerOp == 0 && s.EventsPerSec == 0 {
+		return "", Sample{}, false
+	}
+	return name, s, true
+}
+
+// metric returns the comparable throughput for a sample: events/s when the
+// benchmark reports it, else ops/s derived from ns/op.
+func metric(s Sample) float64 {
+	if s.EventsPerSec > 0 {
+		return s.EventsPerSec
+	}
+	if s.NsPerOp > 0 {
+		return 1e9 / s.NsPerOp
+	}
+	return math.NaN()
+}
+
+// checkAbsolute flags every benchmark present in both maps whose throughput
+// fell by more than threshold. Benchmarks on only one side are tolerated
+// (reported to stderr) so old baselines keep working as benchmarks evolve.
+func checkAbsolute(base, cur map[string]Sample, threshold float64) []string {
+	var names []string
+	for n := range base {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var failures []string
+	matched := 0
+	for _, n := range names {
+		c, ok := cur[n]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchguard: %s in baseline but not in input (skipped)\n", n)
+			continue
+		}
+		matched++
+		b, cv := metric(base[n]), metric(c)
+		fmt.Printf("%-40s baseline %12.0f  current %12.0f  (%+.1f%%)\n", n, b, cv, (cv/b-1)*100)
+		if cv < b*(1-threshold) {
+			failures = append(failures,
+				fmt.Sprintf("%s: %.0f -> %.0f events/s (-%.1f%%, threshold %.0f%%)",
+					n, b, cv, (1-cv/b)*100, threshold*100))
+		}
+	}
+	if matched == 0 {
+		fmt.Fprintln(os.Stderr, "benchguard: no benchmarks in common with the baseline; nothing checked")
+	}
+	return failures
+}
+
+// checkRatio compares the A/B throughput ratio in cur against the same
+// ratio in base. This cancels the hardware term, so it is the right check
+// against a baseline committed from a different machine.
+func checkRatio(base, cur map[string]Sample, spec string, threshold float64) ([]string, error) {
+	a, b, ok := strings.Cut(spec, "/")
+	if !ok || a == "" || b == "" {
+		return nil, fmt.Errorf("-ratio wants \"A/B\", got %q", spec)
+	}
+	get := func(m map[string]Sample, name, side string) (float64, error) {
+		s, ok := m[name]
+		if !ok {
+			return 0, fmt.Errorf("%s: benchmark %q not found", side, name)
+		}
+		return metric(s), nil
+	}
+	ba, err := get(base, a, "baseline")
+	if err != nil {
+		return nil, err
+	}
+	bb, err := get(base, b, "baseline")
+	if err != nil {
+		return nil, err
+	}
+	ca, err := get(cur, a, "input")
+	if err != nil {
+		return nil, err
+	}
+	cb, err := get(cur, b, "input")
+	if err != nil {
+		return nil, err
+	}
+	baseR, curR := ba/bb, ca/cb
+	fmt.Printf("ratio %s/%s: baseline %.3f  current %.3f  (%+.1f%%)\n", a, b, baseR, curR, (curR/baseR-1)*100)
+	if curR < baseR*(1-threshold) {
+		return []string{fmt.Sprintf("ratio %s/%s fell %.3f -> %.3f (-%.1f%%, threshold %.0f%%)",
+			a, b, baseR, curR, (1-curR/baseR)*100, threshold*100)}, nil
+	}
+	return nil, nil
+}

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOut = `goos: linux
+goarch: amd64
+pkg: alltoall/internal/network
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkEventQueueHeap-4         	 5000000	       207.3 ns/op	   4823456 events/s
+BenchmarkEventQueueHeap-4         	 5000000	       210.0 ns/op	   4761904 events/s
+BenchmarkEventQueueCalendar-4     	10000000	       110.1 ns/op	   9082652 events/s
+BenchmarkNetworkRunLarge/queue=heap-4      	       1	37709004495 ns/op	    863557 events/s
+PASS
+ok  	alltoall/internal/network	146.837s
+`
+
+func parse(t *testing.T, s string) map[string]Sample {
+	t.Helper()
+	m, cpu, err := parseBench(strings.NewReader(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpu == "" {
+		t.Error("cpu header not captured")
+	}
+	return m
+}
+
+func TestParseBench(t *testing.T) {
+	m := parse(t, sampleOut)
+	if len(m) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(m), m)
+	}
+	h := m["EventQueueHeap"]
+	if h.N != 2 {
+		t.Errorf("heap samples = %d, want 2 folded", h.N)
+	}
+	// Best-of folding: min ns/op, max events/s.
+	if h.NsPerOp != 207.3 || h.EventsPerSec != 4823456 {
+		t.Errorf("heap sample = %+v, want best-of fold", h)
+	}
+	if m["NetworkRunLarge/queue=heap"].EventsPerSec != 863557 {
+		t.Errorf("sub-benchmark name not normalized: %v", m)
+	}
+	if _, ok := m["EventQueueCalendar"]; !ok {
+		t.Errorf("calendar benchmark missing: %v", m)
+	}
+}
+
+func TestParseBenchLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"PASS",
+		"ok  	alltoall/internal/network	146.837s",
+		"goos: linux",
+		"--- BENCH: BenchmarkFoo",
+		"BenchmarkBroken-4 notanint 5 ns/op",
+	} {
+		if name, _, ok := parseBenchLine(line); ok {
+			t.Errorf("parsed noise line %q as benchmark %q", line, name)
+		}
+	}
+}
+
+func TestCheckAbsolute(t *testing.T) {
+	base := map[string]Sample{
+		"A":    {N: 1, EventsPerSec: 1000},
+		"B":    {N: 1, EventsPerSec: 1000},
+		"Gone": {N: 1, EventsPerSec: 1000},
+	}
+	cur := map[string]Sample{
+		"A":   {N: 1, EventsPerSec: 950},  // -5%: within threshold
+		"B":   {N: 1, EventsPerSec: 850},  // -15%: regression
+		"New": {N: 1, EventsPerSec: 1000}, // not in baseline: ignored
+	}
+	fails := checkAbsolute(base, cur, 0.10)
+	if len(fails) != 1 || !strings.Contains(fails[0], "B:") {
+		t.Errorf("failures = %v, want exactly B", fails)
+	}
+}
+
+func TestCheckAbsoluteNsPerOpFallback(t *testing.T) {
+	base := map[string]Sample{"A": {N: 1, NsPerOp: 100}}
+	cur := map[string]Sample{"A": {N: 1, NsPerOp: 120}} // 20% slower
+	if fails := checkAbsolute(base, cur, 0.10); len(fails) != 1 {
+		t.Errorf("ns/op fallback missed the regression: %v", fails)
+	}
+}
+
+func TestCheckRatio(t *testing.T) {
+	base := map[string]Sample{
+		"Cal":  {N: 1, EventsPerSec: 1300},
+		"Heap": {N: 1, EventsPerSec: 1000},
+	}
+	// Twice-as-fast hardware, same 1.3 ratio: must pass.
+	cur := map[string]Sample{
+		"Cal":  {N: 1, EventsPerSec: 2600},
+		"Heap": {N: 1, EventsPerSec: 2000},
+	}
+	fails, err := checkRatio(base, cur, "Cal/Heap", 0.10)
+	if err != nil || len(fails) != 0 {
+		t.Errorf("hardware-scaled equal ratio failed: %v %v", fails, err)
+	}
+	// Ratio collapse to 1.0 on faster hardware: must fail.
+	cur["Cal"] = Sample{N: 1, EventsPerSec: 2000}
+	fails, err = checkRatio(base, cur, "Cal/Heap", 0.10)
+	if err != nil || len(fails) != 1 {
+		t.Errorf("ratio collapse not flagged: %v %v", fails, err)
+	}
+	if _, err := checkRatio(base, cur, "Cal/Missing", 0.10); err == nil {
+		t.Error("missing benchmark in ratio spec not an error")
+	}
+	if _, err := checkRatio(base, cur, "nonsense", 0.10); err == nil {
+		t.Error("malformed ratio spec not an error")
+	}
+}

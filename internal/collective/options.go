@@ -52,6 +52,14 @@ type Options struct {
 	Par   network.Params // zero value: network.DefaultParams()
 	Calib model.Calib    // zero value: model.DefaultCalib()
 
+	// EventQueue selects the simulator's pending-event structure
+	// (equivalent to setting Par.EventQueue, but composes with a defaulted
+	// Par): "" or network.EventQueueCalendar for the bounded-horizon
+	// calendar queue, network.EventQueueHeap for the reference binary
+	// heap. Results are byte-identical either way; the heap is an escape
+	// hatch and ablation baseline.
+	EventQueue string
+
 	// Check enables the simulator's runtime invariant checker (equivalent
 	// to setting Par.Check): every event is validated against the machine's
 	// conservation laws and a completed run must reach full quiescence. A
@@ -150,6 +158,9 @@ func (o *Options) fill() error {
 	}
 	if o.Check {
 		o.Par.Check = true
+	}
+	if o.EventQueue != "" {
+		o.Par.EventQueue = o.EventQueue
 	}
 	if o.Calib == (model.Calib{}) {
 		o.Calib = model.DefaultCalib()

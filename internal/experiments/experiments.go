@@ -62,6 +62,12 @@ type Config struct {
 	// 1.4x simulation time; tables are unchanged when the invariants hold.
 	Check bool
 
+	// EventQueue selects the simulator's pending-event structure for every
+	// run (collective.Options.EventQueue): "" or "calendar" for the
+	// bounded-horizon calendar queue, "heap" for the reference binary
+	// heap. Tables are byte-identical either way.
+	EventQueue string
+
 	// Trace, when non-nil, instruments every collective run with an
 	// observe.Collector and records its per-run summary (and, if the sink
 	// keeps traces, its windowed JSONL trace) under TracePrefix. Tables
@@ -163,7 +169,8 @@ func Names() []string {
 }
 
 func (c Config) opts(s torus.Shape, m int) collective.Options {
-	return collective.Options{Shape: s, MsgBytes: m, Seed: c.Seed, Shards: c.shardsFor(s.P()), Check: c.Check}
+	return collective.Options{Shape: s, MsgBytes: m, Seed: c.Seed, Shards: c.shardsFor(s.P()),
+		Check: c.Check, EventQueue: c.EventQueue}
 }
 
 // shardsFor picks the per-run shard count for a partition of the given node

@@ -42,13 +42,14 @@ func (nw *Network) DumpState(w io.Writer) {
 					n, nw.coords[n], r.cpuBusy, r.pendValid, len(r.pendingFw), r.srcDone)
 				fmt.Fprintf(w, "  tok:")
 				for d := 0; d < numDirs; d++ {
-					if r.nbr[d] >= 0 {
-						fmt.Fprintf(w, " d%d=[%d %d %d]", d, r.tok[d][0], r.tok[d][1], r.tok[d][2])
+					if nw.nbrs[linkIdx(int32(n), d)] >= 0 {
+						fmt.Fprintf(w, " d%d=[%d %d %d]", d,
+							nw.tok[tokIdx(int32(n), d, 0)], nw.tok[tokIdx(int32(n), d, 1)], nw.tok[tokIdx(int32(n), d, 2)])
 					}
 				}
 				fmt.Fprintf(w, "\n  outBusy:")
 				for d := 0; d < numDirs; d++ {
-					fmt.Fprintf(w, " %d", r.out[d])
+					fmt.Fprintf(w, " %d", nw.outBusy[linkIdx(int32(n), d)])
 				}
 				fmt.Fprintln(w)
 				hdr = true

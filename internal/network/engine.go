@@ -23,11 +23,22 @@ type engine struct {
 	id      int32
 	lo, hi  int32 // owned node range [lo, hi)
 
-	evq     eventHeap
+	evq     eventQueue
 	now     int64
 	pkts    []packet
 	freePkt int32 // head of free list threaded through pkts[i].dst
 	stats   *Stats
+
+	// Cached headers of the Network's SoA router state (see network.go):
+	// the hot loop reads these through the engine to skip the nw pointer
+	// chase. All engines share the same backing arrays; each touches only
+	// its own nodes' entries.
+	outBusy []int64
+	tok     []int32
+	nbrs    []int32
+	occ     []uint32
+	svcAt   []int64
+	svcMask []uint8
 
 	inFlight  int64
 	activeSrc int
@@ -64,6 +75,13 @@ func (e *engine) init(nw *Network, id, lo, hi int32, stats *Stats) {
 	e.lo, e.hi = lo, hi
 	e.stats = stats
 	e.freePkt = -1
+	e.outBusy = nw.outBusy
+	e.tok = nw.tok
+	e.nbrs = nw.nbrs
+	e.occ = nw.occ
+	e.svcAt = nw.svcAt
+	e.svcMask = nw.svcMask
+	e.evq.init(nw.Par)
 }
 
 // resetRunState clears everything a run accumulates, keeping allocations
@@ -140,21 +158,27 @@ func (e *engine) processUntil(tend, maxTime int64) error {
 		case evArrive:
 			e.arrive(node, arrivePid(ev.arg()))
 		case evService:
-			r := &e.routers[node]
-			mask := uint8(ev.arg())
-			if r.svcPending && r.svcAt <= ev.t {
-				mask |= r.svcMask
-				r.svcPending = false
-				r.svcMask = 0
-			}
-			if mask != 0 {
-				e.service(node, mask)
+			if ev.arg() != 0 {
+				// A link-free wakeup, possibly standing in for several links
+				// of this node that freed on the same tick (tryRoute pushes
+				// at most one such event per (node, t)); the freed set is
+				// re-derived from the busy times at dispatch.
+				e.serviceGroup(ev.t, node)
+			} else {
+				// A soft coalesced wakeup: consume the pending-service slot.
+				if e.svcMask[node]&svcPendBit != 0 && e.svcAt[node] <= ev.t {
+					mask := e.svcMask[node] & maskAll
+					e.svcMask[node] = 0
+					if mask != 0 {
+						e.service(node, mask)
+					}
+				}
 			}
 		case evCPUKick:
 			e.cpuDoneOrKick(node)
 		case evCredit:
 			dir, vc, cost := creditUnpack(ev.arg())
-			e.routers[node].tok[dir][vc] += cost
+			e.tok[tokIdx(node, dir, int(vc))] += cost
 			e.service(node, 1<<dir)
 		}
 		if e.par.Check {
@@ -210,12 +234,13 @@ func (e *engine) arrive(node, pid int32) {
 	r := &e.routers[node]
 	qIdx := int(p.inDir)*NumVC + int(p.vc)
 	q := &r.in[p.inDir][p.vc]
-	q.push(pid, vcCost(p.vc, p.size))
-	r.occMask |= 1 << qIdx
+	q.push(pktRef{pid: pid, dst: p.dst, size: p.size, hops: p.hops, vc: p.vc,
+		inDir: p.inDir, want: p.want, det: p.det}, vcCost(p.vc, p.size))
+	e.occ[node] |= 1 << qIdx
 	// A push frees no resources, so the only new candidate move is the
 	// arrived packet itself; a targeted attempt on this queue suffices.
 	if win := e.window(p.vc); q.count <= win {
-		freeMask := e.freeOutputs(r)
+		freeMask := e.freeOutputs(node)
 		e.tryQueue(node, r, q, qIdx, win, &freeMask, maskAll)
 	}
 }
@@ -225,6 +250,13 @@ func (e *engine) arrive(node, pid int32) {
 const (
 	maskRecv uint8 = 1 << 6
 	maskAll  uint8 = 0x7f
+
+	// svcPendBit marks, in the svcMask SoA byte, that a coalesced service
+	// pass is pending at svcAt. Packing the flag into the mask byte keeps
+	// the scheduleService fast path (called from noteBlocked on every
+	// failed arbitration pass) to two small flat-array loads instead of a
+	// dependent load into the ~200-byte router struct.
+	svcPendBit uint8 = 1 << 7
 )
 
 // window returns the arbitration lookahead for a VC index (-1 = injection
@@ -236,11 +268,14 @@ func (e *engine) window(vc int8) int32 {
 	return 1
 }
 
-func (e *engine) freeOutputs(r *router) uint8 {
+func (e *engine) freeOutputs(node int32) uint8 {
 	var m uint8
 	now := e.now
+	base := linkIdx(node, 0)
+	nbrs := e.nbrs[base : base+numDirs]
+	out := e.outBusy[base : base+numDirs]
 	for d := 0; d < numDirs; d++ {
-		if r.nbr[d] >= 0 && r.out[d] <= now {
+		if nbrs[d] >= 0 && out[d] <= now {
 			m |= 1 << d
 		}
 	}
@@ -255,25 +290,25 @@ func (e *engine) freeOutputs(r *router) uint8 {
 func (e *engine) tryQueue(node int32, r *router, q *pktQueue, qIdx int, win int32, freeMask *uint8, mask uint8) bool {
 	moved := false
 	for i := int32(0); i < q.count && i < win; {
-		pid := q.at(i)
-		p := &e.pkts[pid]
-		inDir, vc := p.inDir, p.vc
-		cost := p.size
+		rf := q.at(i)
+		inDir, vc := rf.inDir, rf.vc
+		cost := rf.size
 		if inDir >= 0 {
-			cost = vcCost(vc, p.size)
+			cost = vcCost(vc, rf.size)
 		}
-		if p.dst == node {
-			if !r.recv.fits(p.size) {
+		if rf.dst == node {
+			if !r.recv.fits(rf.size) {
 				i++
 				continue
 			}
+			ref := *rf // rf aliases the ring slot removeAt is about to shuffle
 			q.removeAt(i, cost)
 			if inDir >= 0 {
 				e.creditUpstream(node, inDir, vc, cost)
 			} else {
 				e.maybeRunCPU(node)
 			}
-			r.recv.push(pid, p.size)
+			r.recv.push(ref, ref.size)
 			if e.obs != nil {
 				e.obs.OnRecvFIFO(node, r.recv.bytes)
 			}
@@ -282,16 +317,16 @@ func (e *engine) tryQueue(node int32, r *router, q *pktQueue, qIdx int, win int3
 			mask = maskAll
 			continue // entry i replaced by the next packet
 		}
-		if p.want&mask == 0 {
+		if rf.want&mask == 0 {
 			i++
 			continue
 		}
-		if p.want&*freeMask == 0 {
-			e.noteBlocked(node, p, q.count, win)
+		if rf.want&*freeMask == 0 {
+			e.noteBlocked(node, rf, q.count, win)
 			i++
 			continue
 		}
-		if granted := e.tryRoute(node, r, pid, p, *freeMask); granted >= 0 {
+		if granted := e.tryRoute(node, rf, *freeMask); granted >= 0 {
 			*freeMask &^= 1 << granted
 			q.removeAt(i, cost)
 			if inDir >= 0 {
@@ -303,11 +338,11 @@ func (e *engine) tryQueue(node int32, r *router, q *pktQueue, qIdx int, win int3
 			mask = maskAll
 			continue
 		}
-		e.noteBlocked(node, p, q.count, win)
+		e.noteBlocked(node, rf, q.count, win)
 		i++
 	}
 	if q.count == 0 {
-		r.occMask &^= 1 << qIdx
+		e.occ[node] &^= 1 << qIdx
 	}
 	return moved
 }
@@ -317,19 +352,19 @@ func (e *engine) tryQueue(node int32, r *router, q *pktQueue, qIdx int, win int3
 // describe the queue the packet sits in (depth and arbitration lookahead) so
 // the observer can tell a lone stalled packet from true head-of-line
 // blocking with victims waiting behind the window.
-func (e *engine) noteBlocked(node int32, p *packet, qCount, win int32) {
-	if p.blocked == 0 {
-		p.blocked = e.now
+func (e *engine) noteBlocked(node int32, rf *pktRef, qCount, win int32) {
+	if rf.blocked == 0 {
+		rf.blocked = e.now
 	}
 	if e.obs != nil {
-		e.obs.OnBlocked(e.now, node, p.inDir, p.vc, p.want, p.blocked, qCount, win)
+		e.obs.OnBlocked(e.now, node, rf.inDir, rf.vc, rf.want, rf.blocked, qCount, win)
 	}
 	// Re-arm the escape-maturity wakeup on every failed pass: a coalesced
 	// earlier wakeup will land here again and reschedule, so the chain
 	// always reaches the maturity time even when individual events are
 	// dropped by coalescing.
-	if mature := p.blocked + e.par.EscapeDelay; mature > e.now {
-		e.scheduleService(node, mature, p.want)
+	if mature := rf.blocked + e.par.EscapeDelay; mature > e.now {
+		e.scheduleService(node, mature, rf.want)
 	}
 }
 
@@ -340,14 +375,13 @@ func (e *engine) noteBlocked(node int32, p *packet, qCount, win int32) {
 // same local state. Token returns are NOT routed through here: they carry
 // state, not just a wakeup, and run at their exact time via evCredit.
 func (e *engine) scheduleService(node int32, t int64, mask uint8) {
-	r := &e.routers[node]
-	if r.svcPending && r.svcAt <= t {
-		r.svcMask |= mask
+	sm := e.svcMask[node]
+	if sm&svcPendBit != 0 && e.svcAt[node] <= t {
+		e.svcMask[node] = sm | mask
 		return
 	}
-	r.svcPending = true
-	r.svcAt = t
-	r.svcMask |= mask
+	e.svcMask[node] = sm | mask | svcPendBit
+	e.svcAt[node] = t
 	e.evq.push(mkEvent(t, node, 0, evService))
 }
 
@@ -357,7 +391,7 @@ func (e *engine) service(node int32, mask uint8) {
 	r := &e.routers[node]
 	nQ := numDirs*NumVC + len(r.inj)
 	for {
-		freeMask := e.freeOutputs(r)
+		freeMask := e.freeOutputs(node)
 		if freeMask&mask == 0 && mask&maskRecv == 0 {
 			return
 		}
@@ -366,7 +400,7 @@ func (e *engine) service(node int32, mask uint8) {
 		rot := int(r.rrCursor) % nQ
 		// Visit only non-empty queues, starting the rotation at rot for
 		// fairness: bits >= rot first, then the wrap-around remainder.
-		occ := r.occMask
+		occ := e.occ[node]
 		high := occ & (^uint32(0) << rot)
 		for _, part := range [2]uint32{high, occ &^ (^uint32(0) << rot)} {
 			for part != 0 {
@@ -386,6 +420,15 @@ func (e *engine) service(node int32, mask uint8) {
 				if q.count == 0 {
 					continue
 				}
+				// Queue-level skip, off the ring's cache lines: when no
+				// queued want intersects the wake mask and nothing is
+				// deliverable here, a visit would scan every entry and
+				// no-op without side effects (entries failing the mask
+				// check are passed over silently - no escape clock, no
+				// observer callback), so eliding it is byte-identical.
+				if q.wantOR&mask == 0 && q.nDeliv == 0 {
+					continue
+				}
 				if e.tryQueue(node, r, q, idx, win, &freeMask, mask) {
 					progress = true
 				}
@@ -398,24 +441,67 @@ func (e *engine) service(node int32, mask uint8) {
 	}
 }
 
+// serviceGroup dispatches one coalesced link-free wakeup: every output link
+// of node whose busy time lands exactly on tick t freed here (links freed
+// earlier were announced by their own earlier events; a link re-granted
+// meanwhile has moved its busy time past t and is skipped, exactly as its
+// stale per-direction event would have found the link busy and returned).
+// The pass sequence replays the uncoalesced engine byte for byte: separate
+// events sorted by arg, i.e. one arbitration pass per direction in ascending
+// order, with a soft wakeup armed at this same tick - whose arg 0 sorts
+// before any direction bit - draining first as its own pass. Only the event
+// count changes; every service pass, cursor rotation, and observer callback
+// is identical, which is what keeps golden outputs and the serial/sharded
+// identity oracle stable across the coalescing optimization.
+func (e *engine) serviceGroup(t int64, node int32) {
+	lnk := linkIdx(node, 0)
+	for d := 0; d < numDirs; d++ {
+		if e.outBusy[lnk+d] != t {
+			continue
+		}
+		for e.svcMask[node]&svcPendBit != 0 && e.svcAt[node] <= t {
+			mask := e.svcMask[node] & maskAll
+			e.svcMask[node] = 0
+			if mask != 0 {
+				e.service(node, mask)
+			}
+		}
+		e.service(node, 1<<d)
+	}
+	// A soft wakeup re-armed during the final pass would have popped as its
+	// own arg-0 event right after this one; drain it the same way. (The
+	// event scheduleService pushed for it still pops, finds the slot empty,
+	// and no-ops, as in the uncoalesced engine.)
+	for e.svcMask[node]&svcPendBit != 0 && e.svcAt[node] <= t {
+		mask := e.svcMask[node] & maskAll
+		e.svcMask[node] = 0
+		if mask != 0 {
+			e.service(node, mask)
+		}
+	}
+}
+
 // creditUpstream returns the token for the input VC slot that a departing
 // packet occupied at node (cost = vcCost of the packet). The token lands at
 // the upstream router CreditDelay later as an evCredit event (which also
 // runs an arbitration pass there); inDir is the direction of the input
 // port, i.e. the direction from this node toward the upstream sender.
 func (e *engine) creditUpstream(node int32, inDir, vc int8, cost int32) {
-	up := e.routers[node].nbr[int(inDir)]
+	up := e.nbrs[linkIdx(node, int(inDir))]
 	if up < 0 {
 		panic("network: credit for nonexistent upstream link")
 	}
 	e.sendCredit(up, oppositeDir(int(inDir)), vc, cost)
 }
 
-// tryRoute attempts to start pid on an output link of node whose bit is set
-// in freeMask. On success the packet is committed to the wire (arrival
-// event scheduled) and the granted direction is returned; the caller pops
-// it from its queue. Returns -1 on failure.
-func (e *engine) tryRoute(node int32, r *router, pid int32, p *packet, freeMask uint8) int {
+// tryRoute attempts to start the queued packet rf on an output link of node
+// whose bit is set in freeMask. On success the packet is committed to the
+// wire (arrival event scheduled) and the granted direction is returned; the
+// caller pops it from its queue. Returns -1 on failure. Candidate selection
+// runs entirely on the queue-slot header; the packet pool is loaded only to
+// commit a grant, so failed attempts stay off the pool's cache lines.
+func (e *engine) tryRoute(node int32, rf *pktRef, freeMask uint8) int {
+	lnk := linkIdx(node, 0)
 	// Adaptive candidates on the dynamic VCs (JSQ on tokens). A grant only
 	// requires one flit-credit (32 bytes) free: with virtual cut-through
 	// and flit-granular flow control a packet may stream into a buffer
@@ -431,7 +517,7 @@ func (e *engine) tryRoute(node int32, r *router, pid int32, p *packet, freeMask 
 	bestDir, bestVC, bestTok := -1, -1, int32(-1<<30)
 	escJoining := false
 	for d := torus.Dim(0); d < torus.NumDims; d++ {
-		h := p.hops[d]
+		h := rf.hops[d]
 		if h == 0 {
 			continue
 		}
@@ -445,30 +531,30 @@ func (e *engine) tryRoute(node int32, r *router, pid int32, p *packet, freeMask 
 			// entrants, which would collapse saturated chains into a
 			// one-hole conveyor.
 			need := int32(PacketGranule)
-			if (p.inDir < 0 || dimOfDir(int(p.inDir)) != d) && e.par.InjectTokens > need {
+			if (rf.inDir < 0 || dimOfDir(int(rf.inDir)) != d) && e.par.InjectTokens > need {
 				need = e.par.InjectTokens
 			}
 			for vc := 0; vc < 2; vc++ {
-				if t := r.tok[o][vc]; t >= need && t > bestTok {
+				if t := e.tok[(lnk+o)*NumVC+vc]; t >= need && t > bestTok {
 					bestDir, bestVC, bestTok = o, vc, t
 				}
 			}
 		}
-		if p.det {
+		if rf.det {
 			break // dimension order: only the first unfinished dimension
 		}
 	}
 	if bestDir < 0 {
 		// Bubble escape: a last resort for packets that have been blocked
 		// here longer than EscapeDelay.
-		if p.blocked == 0 || e.now-p.blocked < e.par.EscapeDelay {
+		if rf.blocked == 0 || e.now-rf.blocked < e.par.EscapeDelay {
 			return -1
 		}
 		// Strict dimension order (X, then Y, then Z).
 		var o = -1
 		for d := torus.Dim(0); d < torus.NumDims; d++ {
-			if p.hops[d] != 0 {
-				o = dirOf(d, int(p.hops[d]))
+			if rf.hops[d] != 0 {
+				o = dirOf(d, int(rf.hops[d]))
 				break
 			}
 		}
@@ -480,30 +566,33 @@ func (e *engine) tryRoute(node int32, r *router, pid int32, p *packet, freeMask 
 		// injection FIFO, a dynamic VC, or another dimension) must leave a
 		// free full-packet bubble, i.e. needs two.
 		need := int32(MaxPacketBytes)
-		joining := p.vc != VCBubble || p.inDir < 0 || dimOfDir(int(p.inDir)) != dimOfDir(o)
+		joining := rf.vc != VCBubble || rf.inDir < 0 || dimOfDir(int(rf.inDir)) != dimOfDir(o)
 		if joining {
 			need += MaxPacketBytes
 		}
-		if r.tok[o][VCBubble] < need {
+		if e.tok[(lnk+o)*NumVC+VCBubble] < need {
 			return -1
 		}
 		bestDir, bestVC, escJoining = o, VCBubble, joining
 	}
 
 	o, vc := bestDir, bestVC
-	r.tok[o][vc] -= vcCost(int8(vc), p.size)
+	e.tok[(lnk+o)*NumVC+vc] -= vcCost(int8(vc), rf.size)
 	if e.par.Check && vc == VCBubble {
-		e.checkBubbleGrant(node, o, escJoining, r.tok[o][vc])
+		e.checkBubbleGrant(node, o, escJoining, e.tok[(lnk+o)*NumVC+vc])
 	}
-	r.out[o] = e.now + int64(p.size)
-	e.stats.LinkBusy[int(node)*numDirs+o] += int64(p.size)
+	busyUntil := e.now + int64(rf.size)
+	e.outBusy[lnk+o] = busyUntil
+	e.stats.LinkBusy[lnk+o] += int64(rf.size)
 	e.stats.GrantsByVC[vc]++
 	if e.obs != nil {
-		e.obs.OnGrant(e.now, node, o, int8(vc), p.size)
+		e.obs.OnGrant(e.now, node, o, int8(vc), rf.size)
 	}
 	if w := e.par.UtilSampleWindow; w > 0 {
-		e.stats.noteWindowBusy(e.now, w, p.size)
+		e.stats.noteWindowBusy(e.now, w, rf.size)
 	}
+	pid := rf.pid
+	p := &e.pkts[pid] // grant commit: the packet now changes state
 	if e.nw.traceLog != nil && node == e.nw.traceNode && o == e.nw.traceDir {
 		*e.nw.traceLog = append(*e.nw.traceLog, GrantEvent{T: e.now, Size: p.size, VC: int8(vc), Src: p.src, Dst: p.dst})
 	}
@@ -527,10 +616,24 @@ func (e *engine) tryRoute(node int32, r *router, pid int32, p *packet, freeMask 
 		eta = e.now + PacketGranule + e.par.RouterDelay
 	}
 	// The link-free wakeup is a hard deadline: an earlier coalesced pass
-	// would find the link still busy and discover nothing, so push it
-	// unconditionally with its direction bit.
-	e.evq.push(mkEvent(r.out[o], node, 1<<o, evService))
-	e.sendArrive(eta, r.nbr[o], pid, p)
+	// would find the link still busy and discover nothing, so it cannot be
+	// merged into the soft-coalescing slot. It can, however, share one event
+	// with any other link of this node freeing on the same tick: the
+	// dispatch (serviceGroup) re-derives the freed set from the busy times.
+	// If some other direction already ends at busyUntil, its grant pushed
+	// the shared event - a link ending on a future tick cannot have been
+	// re-granted, so that event is still pending - and this push is elided.
+	dup := false
+	for d := 0; d < numDirs; d++ {
+		if d != o && e.outBusy[lnk+d] == busyUntil {
+			dup = true
+			break
+		}
+	}
+	if !dup {
+		e.evq.push(mkEvent(busyUntil, node, 1<<o, evService))
+	}
+	e.sendArrive(eta, e.nbrs[lnk+o], pid, p)
 	return o
 }
 
@@ -691,16 +794,17 @@ func (e *engine) finishCPUOp(node int32, r *router) {
 		e.stats.LastInject = e.now
 		fifo := int(spec.Class) % len(r.inj)
 		q := &r.inj[fifo]
-		q.push(pid, spec.Size)
+		q.push(pktRef{pid: pid, dst: p.dst, size: p.size, hops: p.hops, vc: -1,
+			inDir: -1, want: p.want, det: p.det}, spec.Size)
 		if e.obs != nil {
 			e.obs.OnInjFIFO(node, fifo, q.bytes)
 		}
-		r.occMask |= 1 << (numDirs*NumVC + fifo)
+		e.occ[node] |= 1 << (numDirs*NumVC + fifo)
 		// Only the freshly injected packet is a new candidate; a targeted
 		// attempt on its FIFO suffices (it only helps if it reached the
 		// FIFO head).
 		if q.count == 1 {
-			freeMask := e.freeOutputs(r)
+			freeMask := e.freeOutputs(node)
 			e.tryQueue(node, r, q, numDirs*NumVC+fifo, 1, &freeMask, maskAll)
 		}
 	}

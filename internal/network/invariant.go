@@ -19,11 +19,11 @@ func (e *engine) checkNode(node int32) *check.Violation {
 	r := &e.routers[node]
 	vcb := e.par.VCBytes
 	for d := 0; d < numDirs; d++ {
-		if r.nbr[d] < 0 {
+		if e.nbrs[linkIdx(node, d)] < 0 {
 			continue
 		}
 		for vc := 0; vc < NumVC; vc++ {
-			tok := r.tok[d][vc]
+			tok := e.tok[tokIdx(node, d, vc)]
 			if tok > vcb {
 				return check.Violatef(check.CreditConservation, node, e.now,
 					"dir %d vc %d holds %d tokens, capacity %d (credit counterfeited)", d, vc, tok, vcb)
@@ -77,7 +77,7 @@ func (e *engine) checkNode(node int32) *check.Violation {
 		} else {
 			q = &r.inj[idx-numDirs*NumVC]
 		}
-		if got, want := r.occMask&(1<<idx) != 0, q.count > 0; got != want {
+		if got, want := e.occ[node]&(1<<idx) != 0, q.count > 0; got != want {
 			return check.Violatef(check.OccupancyMask, node, e.now,
 				"queue %d: occMask bit %v but count %d", idx, got, q.count)
 		}
@@ -139,11 +139,11 @@ func (nw *Network) checkQuiescence() error {
 		r := &nw.routers[n]
 		node := int32(n)
 		for d := 0; d < numDirs; d++ {
-			if r.nbr[d] < 0 {
+			if nw.nbrs[linkIdx(node, d)] < 0 {
 				continue
 			}
 			for vc := 0; vc < NumVC; vc++ {
-				if tok := r.tok[d][vc]; tok != nw.Par.VCBytes {
+				if tok := nw.tok[tokIdx(node, d, vc)]; tok != nw.Par.VCBytes {
 					return check.Violatef(check.Quiescence, node, now,
 						"dir %d vc %d ended with %d tokens, capacity %d (stranded credits)", d, vc, tok, nw.Par.VCBytes)
 				}
@@ -173,9 +173,9 @@ func (nw *Network) checkQuiescence() error {
 		if r.pendValid {
 			return check.Violatef(check.Quiescence, node, now, "polled source packet never injected")
 		}
-		if r.occMask != 0 {
+		if nw.occ[n] != 0 {
 			return check.Violatef(check.Quiescence, node, now,
-				"occupancy mask %#x nonzero over empty queues", r.occMask)
+				"occupancy mask %#x nonzero over empty queues", nw.occ[n])
 		}
 	}
 	if st := &nw.stats; st.PacketsInjected != st.TotalDelivered {

@@ -81,7 +81,7 @@ func seedViolation(t *testing.T, shards int, inv check.Invariant, corrupt func(*
 func escapeDir(t *testing.T, nw *Network) int {
 	t.Helper()
 	for d := 0; d < numDirs; d++ {
-		if nw.routers[0].nbr[d] >= 0 {
+		if nw.nbrs[linkIdx(0, d)] >= 0 {
 			return d
 		}
 	}
@@ -93,7 +93,7 @@ func TestSeededBubbleSlotUnderflow(t *testing.T) {
 	for _, shards := range []int{1, 4} {
 		seedViolation(t, shards, check.BubbleSlots, func(nw *Network) {
 			d := escapeDir(t, nw)
-			nw.routers[0].tok[d][VCBubble] = -MaxPacketBytes
+			nw.tok[tokIdx(0, d, VCBubble)] = -MaxPacketBytes
 		})
 	}
 }
@@ -101,21 +101,21 @@ func TestSeededBubbleSlotUnderflow(t *testing.T) {
 func TestSeededBubbleSlotFragmentation(t *testing.T) {
 	seedViolation(t, 1, check.BubbleSlots, func(nw *Network) {
 		d := escapeDir(t, nw)
-		nw.routers[0].tok[d][VCBubble] = nw.Par.VCBytes - PacketGranule
+		nw.tok[tokIdx(0, d, VCBubble)] = nw.Par.VCBytes - PacketGranule
 	})
 }
 
 func TestSeededCounterfeitCredit(t *testing.T) {
 	seedViolation(t, 1, check.CreditConservation, func(nw *Network) {
 		d := escapeDir(t, nw)
-		nw.routers[0].tok[d][VCDyn0] = nw.Par.VCBytes + PacketGranule
+		nw.tok[tokIdx(0, d, VCDyn0)] = nw.Par.VCBytes + PacketGranule
 	})
 }
 
 func TestSeededViolationStampsNodeAndTime(t *testing.T) {
 	nw, _ := checkedNet(t, torus.New(4, 4, 2))
 	d := escapeDir(t, nw)
-	nw.routers[0].tok[d][VCBubble] = -1
+	nw.tok[tokIdx(0, d, VCBubble)] = -1
 	_, err := nw.Run(1 << 40)
 	var v *check.Violation
 	if !errors.As(err, &v) {
@@ -141,7 +141,7 @@ func TestCheckNodeOccupancyMask(t *testing.T) {
 	if v := e.checkNode(0); v != nil {
 		t.Fatalf("clean post-run state flagged: %v", v)
 	}
-	nw.routers[0].occMask |= 1
+	nw.occ[0] |= 1
 	v := e.checkNode(0)
 	if v == nil || v.Invariant != check.OccupancyMask {
 		t.Fatalf("stale occMask bit not caught: %v", v)
@@ -157,7 +157,7 @@ func TestCheckQuiescenceStrandedCredit(t *testing.T) {
 		t.Fatalf("clean run not quiescent: %v", err)
 	}
 	d := escapeDir(t, nw)
-	nw.routers[0].tok[d][VCDyn1] -= PacketGranule
+	nw.tok[tokIdx(0, d, VCDyn1)] -= PacketGranule
 	err := nw.checkQuiescence()
 	var v *check.Violation
 	if !errors.As(err, &v) || v.Invariant != check.Quiescence {

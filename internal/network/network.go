@@ -149,9 +149,6 @@ const (
 
 type router struct {
 	in   [numDirs][NumVC]pktQueue
-	tok  [numDirs][NumVC]int32 // credits for the neighbour's input VC reached via this output
-	nbr  [numDirs]int32        // neighbour rank per output direction, -1 at mesh edges
-	out  [numDirs]int64        // outBusyUntil per output direction
 	inj  []pktQueue
 	recv pktQueue
 
@@ -168,13 +165,25 @@ type router struct {
 	curFw     []PacketSpec
 	curFinal  bool
 
-	srcDone    bool
-	svcPending bool
-	svcAt      int64
-	svcMask    uint8
-	occMask    uint32 // bit per queue (18 input VCs, then injection FIFOs) that is non-empty
-	rrCursor   uint32
+	srcDone  bool
+	rrCursor uint32
 }
+
+// Hot per-node router state lives outside the router struct in flat
+// structure-of-arrays layout: the arbitration loop touches the output busy
+// times, credit counters, neighbour table, and occupancy mask on every
+// event, and packing each field contiguously by node keeps those accesses
+// on a handful of cache lines instead of striding through ~200-byte router
+// structs. The arrays are indexed with linkIdx/tokIdx and are naturally
+// shard-partitioned: engines own contiguous rank slabs, so two shards only
+// ever share the cache line straddling a slab boundary (the same discipline
+// as Stats.LinkBusy).
+
+// linkIdx indexes per-(node, direction) arrays (outBusy, nbrs).
+func linkIdx(node int32, d int) int { return int(node)*numDirs + d }
+
+// tokIdx indexes the per-(node, direction, VC) credit array.
+func tokIdx(node int32, d, vc int) int { return (int(node)*numDirs+d)*NumVC + vc }
 
 // Network is a simulated torus machine. Event processing lives in engine;
 // the serial path runs one engine owning every node, RunSharded partitions
@@ -186,6 +195,14 @@ type Network struct {
 
 	routers []router
 	coords  []torus.Coord
+
+	// SoA router state (see the comment above linkIdx).
+	outBusy []int64  // [linkIdx] output-link busy-until time
+	tok     []int32  // [tokIdx] credits for the neighbour's input VC via this output
+	nbrs    []int32  // [linkIdx] neighbour rank per output direction, -1 at mesh edges
+	occ     []uint32 // [node] bit per non-empty queue (18 input VCs, then injection FIFOs)
+	svcAt   []int64  // [node] time of the pending coalesced service pass, if any
+	svcMask []uint8  // [node] wake-reason bits of that pass; bit 7 (svcPendBit) = pending
 
 	sources   []Source
 	handler   Handler
@@ -227,6 +244,12 @@ func New(shape torus.Shape, par Params, sources []Source, handler Handler) (*Net
 	if par.InjFIFOs < 1 || par.VCBytes < 2*MaxPacketBytes || par.CPUDen <= 0 || par.VCLookahead < 1 {
 		return nil, fmt.Errorf("network: invalid params %+v", par)
 	}
+	switch par.EventQueue {
+	case "", EventQueueCalendar, EventQueueHeap:
+	default:
+		return nil, fmt.Errorf("network: unknown EventQueue %q (want %q or %q)",
+			par.EventQueue, EventQueueCalendar, EventQueueHeap)
+	}
 	nw := &Network{
 		Shape:   shape,
 		P:       p,
@@ -238,31 +261,52 @@ func New(shape torus.Shape, par Params, sources []Source, handler Handler) (*Net
 	}
 	nw.stats.LinkBusy = make([]int64, p*numDirs)
 	nw.stats.CPUBusy = make([]int64, p)
+	nw.outBusy = make([]int64, p*numDirs)
+	nw.tok = make([]int32, p*numDirs*NumVC)
+	nw.nbrs = make([]int32, p*numDirs)
+	nw.occ = make([]uint32, p)
+	nw.svcAt = make([]int64, p)
+	nw.svcMask = make([]uint8, p)
 	nw.linkCount = shape.LinkCount()
 	for n := 0; n < p; n++ {
 		nw.coords[n] = shape.Coords(n)
 	}
+	// Pass 1: resolve the neighbour table and count live links, so every
+	// ring of the machine can be carved from one contiguous arena in node
+	// order (see newPktQueueIn).
+	links := 0
 	for n := 0; n < p; n++ {
-		r := &nw.routers[n]
 		for d := 0; d < numDirs; d++ {
 			nc, ok := shape.Neighbor(nw.coords[n], dimOfDir(d), signOfDir(d))
 			if !ok {
-				r.nbr[d] = -1
+				nw.nbrs[linkIdx(int32(n), d)] = -1
 				continue
 			}
-			r.nbr[d] = int32(shape.Rank(nc))
+			nw.nbrs[linkIdx(int32(n), d)] = int32(shape.Rank(nc))
+			links++
+		}
+	}
+	// Every VC can overshoot capacity by one max packet (flit-credit
+	// streaming grants); size those queues for it.
+	vcCap := par.VCBytes + MaxPacketBytes
+	arena := make([]pktRef, int(pktSlots(vcCap))*links*NumVC+
+		p*(int(pktSlots(par.InjFIFOBytes))*par.InjFIFOs+int(pktSlots(par.RecvFIFOBytes))))
+	for n := 0; n < p; n++ {
+		r := &nw.routers[n]
+		for d := 0; d < numDirs; d++ {
+			if nw.nbrs[linkIdx(int32(n), d)] < 0 {
+				continue
+			}
 			for vc := 0; vc < NumVC; vc++ {
-				// Every VC can overshoot capacity by one max packet
-				// (flit-credit streaming grants); size the queue for it.
-				r.in[d][vc] = newPktQueue(par.VCBytes + MaxPacketBytes)
-				r.tok[d][vc] = par.VCBytes
+				r.in[d][vc], arena = newPktQueueIn(arena, vcCap)
+				nw.tok[tokIdx(int32(n), d, vc)] = par.VCBytes
 			}
 		}
 		r.inj = make([]pktQueue, par.InjFIFOs)
 		for i := range r.inj {
-			r.inj[i] = newPktQueue(par.InjFIFOBytes)
+			r.inj[i], arena = newPktQueueIn(arena, par.InjFIFOBytes)
 		}
-		r.recv = newPktQueue(par.RecvFIFOBytes)
+		r.recv, arena = newPktQueueIn(arena, par.RecvFIFOBytes)
 		if sources != nil && sources[n] != nil {
 			nw.activeSrc++
 		} else {
@@ -301,13 +345,13 @@ func (nw *Network) Reset(sources []Source, handler Handler) error {
 	for n := 0; n < nw.P; n++ {
 		r := &nw.routers[n]
 		for d := 0; d < numDirs; d++ {
-			r.out[d] = 0
-			if r.nbr[d] < 0 {
+			nw.outBusy[linkIdx(int32(n), d)] = 0
+			if nw.nbrs[linkIdx(int32(n), d)] < 0 {
 				continue
 			}
 			for vc := 0; vc < NumVC; vc++ {
 				r.in[d][vc].reset()
-				r.tok[d][vc] = nw.Par.VCBytes
+				nw.tok[tokIdx(int32(n), d, vc)] = nw.Par.VCBytes
 			}
 		}
 		for i := range r.inj {
@@ -325,10 +369,9 @@ func (nw *Network) Reset(sources []Source, handler Handler) error {
 		r.curSpec = PacketSpec{}
 		r.curFw = r.curFw[:0]
 		r.curFinal = false
-		r.svcPending = false
-		r.svcAt = 0
-		r.svcMask = 0
-		r.occMask = 0
+		nw.svcAt[n] = 0
+		nw.svcMask[n] = 0
+		nw.occ[n] = 0
 		r.rrCursor = 0
 		if sources != nil && sources[n] != nil {
 			r.srcDone = false

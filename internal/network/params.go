@@ -97,6 +97,14 @@ type Params struct {
 	// FIFO (the ring invariant depends on it), as are injection FIFOs.
 	VCLookahead int32
 
+	// EventQueue selects the engine's pending-event structure: "" or
+	// EventQueueCalendar for the bounded-horizon calendar queue (the
+	// default), EventQueueHeap for the reference 4-ary heap the calendar
+	// replaced. The two produce byte-identical simulations (the pop order is
+	// a pure function of the pushed multiset either way); the heap remains
+	// as an escape hatch for one release while the calendar queue beds in.
+	EventQueue string
+
 	// Check enables the runtime invariant checker (internal/check): after
 	// every event the affected router is validated against the model's
 	// conservation laws (credit conservation, bubble slot bounds, FIFO

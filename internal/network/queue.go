@@ -2,28 +2,81 @@ package network
 
 import "math/bits"
 
-// pktQueue is a fixed-capacity FIFO of packet ids with byte accounting.
+// pktRef is one queued packet's arbitration-hot state. tryQueue, tryRoute,
+// and noteBlocked read (and for blocked, write) these fields for every
+// candidate on every pass; keeping them in the ring slot keeps those passes
+// on contiguous memory instead of chasing a random packet-pool pointer per
+// entry. The packet pool is touched only when a packet actually moves: a
+// grant commit (tryRoute rewrites vc/inDir/want/hops/blocked, then the
+// entry leaves the queue) or a delivery. The header fields are settled
+// before the packet is pushed and never change while it sits in a queue, so
+// the copy cannot go stale; blocked is owned by the slot for the duration
+// of the residence (it is 0 at every push, by construction: grants zero it
+// and injections start fresh) and the pool copy is re-zeroed on grant.
+type pktRef struct {
+	blocked int64 // time this packet first failed arbitration here (0 = never)
+	pid     int32
+	dst     int32
+	size    int32
+	hops    [3]int8
+	vc      int8
+	inDir   int8
+	want    uint8
+	det     bool
+}
+
+// pktQueue is a fixed-capacity FIFO of packet refs with byte accounting.
 // Capacity is expressed in bytes; the slot array is sized for the worst case
 // of minimum-size packets so a byte-accepted push never lacks a slot. Slot
 // counts are rounded up to a power of two so ring indexing is a mask rather
 // than a division; admission is still governed by the byte budget, which for
 // minimum-size packets binds no later than the pre-rounding slot count.
 type pktQueue struct {
-	buf      []int32
+	buf      []pktRef
 	mask     int32
 	head     int32
 	count    int32
 	bytes    int32
 	capBytes int32
+
+	// Queue-level arbitration summary, maintained so service passes can
+	// skip a queue without touching its ring (the ring is a separate,
+	// usually cache-cold allocation). wantOR is a superset of the queued
+	// entries' want masks: exact after a push, possibly stale-high after a
+	// removal (it only resets when the queue empties). Stale-high is safe:
+	// it can only cause a visit that scans and moves nothing, which is
+	// exactly what the visit would have done anyway. nDeliv is the exact
+	// count of queued packets at their destination (want == 0 <=> no hops
+	// remain <=> deliverable here); those move under any wake mask, so a
+	// skip additionally requires nDeliv == 0.
+	wantOR uint8
+	nDeliv uint8
 }
 
 func newPktQueue(capBytes int32) pktQueue {
+	slots := pktSlots(capBytes)
+	return pktQueue{buf: make([]pktRef, slots), mask: slots - 1, capBytes: capBytes}
+}
+
+// pktSlots returns the ring size (in slots) backing a queue of capBytes.
+func pktSlots(capBytes int32) int32 {
 	slots := capBytes / MinPacketBytes
 	if slots < 1 {
 		slots = 1
 	}
-	slots = int32(1) << bits.Len32(uint32(slots-1))
-	return pktQueue{buf: make([]int32, slots), mask: slots - 1, capBytes: capBytes}
+	return int32(1) << bits.Len32(uint32(slots-1))
+}
+
+// newPktQueueIn is newPktQueue carving its ring out of arena instead of
+// allocating: it consumes the first pktSlots(capBytes) entries and returns
+// the remainder. Network construction lays every ring of the machine into
+// one slab, in node order, so a service pass visiting several queues of the
+// same node stays within a few contiguous pages instead of chasing one
+// heap allocation per queue (the ring's first-touch miss is the hottest
+// line in the arbitration loop).
+func newPktQueueIn(arena []pktRef, capBytes int32) (pktQueue, []pktRef) {
+	slots := pktSlots(capBytes)
+	return pktQueue{buf: arena[:slots:slots], mask: slots - 1, capBytes: capBytes}, arena[slots:]
 }
 
 func (q *pktQueue) empty() bool { return q.count == 0 }
@@ -31,6 +84,7 @@ func (q *pktQueue) empty() bool { return q.count == 0 }
 // reset discards all contents, keeping the slot array.
 func (q *pktQueue) reset() {
 	q.head, q.count, q.bytes = 0, 0, 0
+	q.wantOR, q.nDeliv = 0, 0
 }
 
 // fits reports whether a packet of the given size can be accepted.
@@ -38,36 +92,54 @@ func (q *pktQueue) fits(size int32) bool {
 	return q.bytes+size <= q.capBytes && q.count < int32(len(q.buf))
 }
 
-func (q *pktQueue) push(pid, size int32) {
-	if !q.fits(size) {
+// push appends ref, charging cost bytes against the capacity (the cost is
+// the flow-control footprint, which for escape-VC packets exceeds the wire
+// size).
+func (q *pktQueue) push(ref pktRef, cost int32) {
+	if !q.fits(cost) {
 		panic("network: pktQueue overflow (flow control violated)")
 	}
-	q.buf[(q.head+q.count)&q.mask] = pid
+	q.buf[(q.head+q.count)&q.mask] = ref
 	q.count++
-	q.bytes += size
+	q.bytes += cost
+	q.wantOR |= ref.want
+	if ref.want == 0 {
+		q.nDeliv++
+	}
 }
 
 func (q *pktQueue) peek() int32 {
-	return q.buf[q.head]
+	return q.buf[q.head].pid
 }
 
-func (q *pktQueue) pop(size int32) int32 {
-	pid := q.buf[q.head]
+func (q *pktQueue) pop(cost int32) int32 {
+	rf := &q.buf[q.head]
+	pid := rf.pid
+	if rf.want == 0 {
+		q.nDeliv--
+	}
 	q.head = (q.head + 1) & q.mask
 	q.count--
-	q.bytes -= size
+	q.bytes -= cost
+	if q.count == 0 {
+		q.wantOR = 0
+	}
 	return pid
 }
 
-// at returns the i-th queued packet id (0 = head) without removing it.
-func (q *pktQueue) at(i int32) int32 {
-	return q.buf[(q.head+i)&q.mask]
+// at returns the i-th queued ref (0 = head) without removing it. The pointer
+// aliases the ring slot and is invalidated by any removeAt/pop.
+func (q *pktQueue) at(i int32) *pktRef {
+	return &q.buf[(q.head+i)&q.mask]
 }
 
 // removeAt removes the i-th entry, preserving the order of the rest.
-func (q *pktQueue) removeAt(i, size int32) int32 {
+func (q *pktQueue) removeAt(i, cost int32) int32 {
 	pos := (q.head + i) & q.mask
-	pid := q.buf[pos]
+	pid := q.buf[pos].pid
+	if q.buf[pos].want == 0 {
+		q.nDeliv--
+	}
 	for j := i; j > 0; j-- {
 		cur := (q.head + j) & q.mask
 		prev := (q.head + j - 1) & q.mask
@@ -75,6 +147,9 @@ func (q *pktQueue) removeAt(i, size int32) int32 {
 	}
 	q.head = (q.head + 1) & q.mask
 	q.count--
-	q.bytes -= size
+	q.bytes -= cost
+	if q.count == 0 {
+		q.wantOR = 0
+	}
 	return pid
 }

@@ -187,3 +187,54 @@ func TestContextCancel(t *testing.T) {
 		}
 	}
 }
+
+// TestAccessorsDoNotAliasInternals pins the read-API contract: every slice
+// or struct an accessor hands out is the caller's to keep. Mutating a
+// returned value must not change what a later call observes, and collecting
+// more data must not mutate an already-returned snapshot.
+func TestAccessorsDoNotAliasInternals(t *testing.T) {
+	shape := torus.New(4, 4, 2)
+	obs := observe.New(observe.Config{Window: 64})
+	run(t, collective.StratAR, shape, 1, obs)
+
+	// DimSeries: a held series must survive both caller mutation and
+	// further collection (it feeds report attribution, which must not see
+	// its inputs shift mid-analysis).
+	s1 := obs.DimSeries(0)
+	if len(s1) == 0 {
+		t.Fatal("no windows recorded")
+	}
+	want := append([]int64(nil), s1...)
+	for i := range s1 {
+		s1[i] = -1
+	}
+	if s2 := obs.DimSeries(0); !reflect.DeepEqual(s2, want) {
+		t.Errorf("mutating DimSeries return corrupted the collector: got %v, want %v", s2, want)
+	}
+	held := obs.DimSeries(0)
+	run(t, collective.StratAR, shape, 1, obs)
+	if !reflect.DeepEqual(held, want) {
+		t.Errorf("later collection mutated a held DimSeries snapshot: got %v, want %v", held, want)
+	}
+
+	// RankLinks: entries are values; scribbling on them must not leak back.
+	r1 := obs.RankLinks(0)
+	if len(r1) == 0 {
+		t.Fatal("no links ranked")
+	}
+	wantTop := r1[0]
+	r1[0].Bytes = -1
+	r1[0].Util = -1
+	if r2 := obs.RankLinks(0); !reflect.DeepEqual(r2[0], wantTop) {
+		t.Errorf("mutating RankLinks return corrupted the collector: got %+v, want %+v", r2[0], wantTop)
+	}
+
+	// Summary: each call builds a fresh struct.
+	sum := obs.Summary()
+	wantSum := *sum
+	sum.BytesByDim[0] = -1
+	sum.HoLMatrix[0][0] = -1
+	if got := obs.Summary(); !reflect.DeepEqual(*got, wantSum) {
+		t.Errorf("mutating Summary return corrupted the collector: got %+v, want %+v", *got, wantSum)
+	}
+}

@@ -205,10 +205,13 @@ func (c *Collector) Windows() int {
 	return n
 }
 
-// DimSeries returns the per-window wire-byte series for torus dimension d
-// (a read-only view into the collector; windows beyond the series length
-// carried zero bytes).
-func (c *Collector) DimSeries(d int) []int64 { return c.win.byDim[d] }
+// DimSeries returns the per-window wire-byte series for torus dimension d;
+// windows beyond the series length carried zero bytes. The slice is a copy:
+// callers may hold or mutate it without corrupting the collector, and later
+// collection does not mutate it behind the caller's back.
+func (c *Collector) DimSeries(d int) []int64 {
+	return append([]int64(nil), c.win.byDim[d]...)
+}
 
 // winAt reads series s at window i, treating short series as zero-padded.
 func winAt(s []int64, i int) int64 {
