@@ -39,31 +39,44 @@ import (
 
 // benchSchemaVersion identifies the -bench-json document layout; bump on
 // any breaking change to field names or semantics.
-const benchSchemaVersion = 1
+//
+// v2: added queued_events, packets, events_per_packet (per experiment and
+// as totals). events counts logical simulator actions; queued_events counts
+// actual event-queue pops, which coalescing makes smaller, and
+// events_per_packet = queued_events/packets is the hardware-independent
+// event-volume metric the CI regression gate compares across commits.
+const benchSchemaVersion = 2
 
 // benchExperiment is one experiment's perf record in the -bench-json file.
 type benchExperiment struct {
-	Experiment   string  `json:"experiment"`
-	Seconds      float64 `json:"seconds"`
-	Runs         int64   `json:"runs"`
-	Events       int64   `json:"events"`
-	EventsPerSec float64 `json:"events_per_sec"`
-	RunsPerSec   float64 `json:"runs_per_sec"`
+	Experiment      string  `json:"experiment"`
+	Seconds         float64 `json:"seconds"`
+	Runs            int64   `json:"runs"`
+	Events          int64   `json:"events"`
+	QueuedEvents    int64   `json:"queued_events"`
+	Packets         int64   `json:"packets"`
+	EventsPerSec    float64 `json:"events_per_sec"`
+	EventsPerPacket float64 `json:"events_per_packet"`
+	RunsPerSec      float64 `json:"runs_per_sec"`
 }
 
 // benchReport is the -bench-json document: enough context to compare
 // apples to apples across commits and machines.
 type benchReport struct {
-	SchemaVersion int               `json:"schema_version"`
-	GoVersion     string            `json:"go_version"`
-	GOMAXPROCS    int               `json:"gomaxprocs"`
-	Workers       int               `json:"workers"`
-	Shards        int               `json:"shards"` // 0 = automatic per run
-	Experiments   []benchExperiment `json:"experiments"`
-	TotalSeconds  float64           `json:"total_seconds"`
-	TotalRuns     int64             `json:"total_runs"`
-	TotalEvents   int64             `json:"total_events"`
-	EventsPerSec  float64           `json:"events_per_sec"`
+	SchemaVersion   int               `json:"schema_version"`
+	GoVersion       string            `json:"go_version"`
+	GOMAXPROCS      int               `json:"gomaxprocs"`
+	Workers         int               `json:"workers"`
+	Shards          int               `json:"shards"`   // 0 = automatic per run
+	Coalesce        string            `json:"coalesce"` // "" = default (on)
+	Experiments     []benchExperiment `json:"experiments"`
+	TotalSeconds    float64           `json:"total_seconds"`
+	TotalRuns       int64             `json:"total_runs"`
+	TotalEvents     int64             `json:"total_events"`
+	TotalQueued     int64             `json:"total_queued_events"`
+	TotalPackets    int64             `json:"total_packets"`
+	EventsPerSec    float64           `json:"events_per_sec"`
+	EventsPerPacket float64           `json:"events_per_packet"`
 }
 
 func fatalf(format string, args ...any) {
@@ -105,6 +118,7 @@ func main() {
 	shards := flag.Int("shards", 0, "event-engine shards per run (0 = auto, 1 = serial engine)")
 	checkInv := flag.Bool("check", false, "run every simulation with the runtime invariant checker (~1.4x slower)")
 	eventq := flag.String("eventq", "", "event queue: calendar (default) or heap (identical results; perf ablation)")
+	coalesce := flag.String("coalesce", "", "same-tick event coalescing: on (default) or off (identical results; perf ablation)")
 	observeRuns := flag.Bool("observe", false, "instrument every run and print a per-run observation table after each experiment")
 	traceOut := flag.String("trace-out", "", "write every run's windowed observation trace as one JSONL file (implies -observe)")
 	quiet := flag.Bool("quiet", false, "suppress per-row progress lines on stderr")
@@ -127,6 +141,7 @@ func main() {
 		Shards:     *shards,
 		Check:      *checkInv,
 		EventQueue: *eventq,
+		Coalesce:   *coalesce,
 	}
 	if !*quiet {
 		cfg.Progress = os.Stderr
@@ -154,6 +169,7 @@ func main() {
 		GOMAXPROCS:    runtime.GOMAXPROCS(0),
 		Workers:       parallel.Workers(*workers),
 		Shards:        *shards,
+		Coalesce:      *coalesce,
 	}
 	var sink *experiments.TraceSink
 	if *observeRuns || *traceOut != "" {
@@ -182,16 +198,21 @@ func main() {
 		elapsed := time.Since(start)
 		sec := elapsed.Seconds()
 		perf.Experiments = append(perf.Experiments, benchExperiment{
-			Experiment:   id,
-			Seconds:      sec,
-			Runs:         metrics.Runs(),
-			Events:       metrics.Events(),
-			EventsPerSec: float64(metrics.Events()) / sec,
-			RunsPerSec:   float64(metrics.Runs()) / sec,
+			Experiment:      id,
+			Seconds:         sec,
+			Runs:            metrics.Runs(),
+			Events:          metrics.Events(),
+			QueuedEvents:    metrics.QueuedEvents(),
+			Packets:         metrics.Packets(),
+			EventsPerSec:    float64(metrics.Events()) / sec,
+			EventsPerPacket: metrics.EventsPerPacket(),
+			RunsPerSec:      float64(metrics.Runs()) / sec,
 		})
 		perf.TotalSeconds += sec
 		perf.TotalRuns += metrics.Runs()
 		perf.TotalEvents += metrics.Events()
+		perf.TotalQueued += metrics.QueuedEvents()
+		perf.TotalPackets += metrics.Packets()
 		if *csv {
 			if err := table.WriteCSV(os.Stdout); err != nil {
 				fatalf("%v", err)
@@ -201,9 +222,9 @@ func main() {
 				fatalf("%v", err)
 			}
 			ev := float64(metrics.Events())
-			fmt.Printf("[%s completed in %s: %d workers, %d runs, %.1fM events, %.2fM events/s]\n\n",
+			fmt.Printf("[%s completed in %s: %d workers, %d runs, %.1fM events, %.2fM events/s, %.1f queued events/packet]\n\n",
 				id, elapsed.Round(time.Millisecond), parallel.Workers(*workers),
-				metrics.Runs(), ev/1e6, ev/1e6/sec)
+				metrics.Runs(), ev/1e6, ev/1e6/sec, metrics.EventsPerPacket())
 		}
 		if *observeRuns && !*csv {
 			if err := observedTable(id, sink).Write(os.Stdout); err != nil {
@@ -214,6 +235,9 @@ func main() {
 	}
 	if perf.TotalSeconds > 0 {
 		perf.EventsPerSec = float64(perf.TotalEvents) / perf.TotalSeconds
+	}
+	if perf.TotalPackets > 0 {
+		perf.EventsPerPacket = float64(perf.TotalQueued) / float64(perf.TotalPackets)
 	}
 	if *benchJSON != "" {
 		buf, err := json.MarshalIndent(perf, "", "  ")

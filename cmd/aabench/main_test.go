@@ -95,18 +95,25 @@ func TestGoldenBenchJSON(t *testing.T) {
 		GOMAXPROCS:    8,
 		Workers:       4,
 		Shards:        0,
+		Coalesce:      "",
 		Experiments: []benchExperiment{{
-			Experiment:   "table1",
-			Seconds:      1.5,
-			Runs:         12,
-			Events:       1000000,
-			EventsPerSec: 666666.67,
-			RunsPerSec:   8,
+			Experiment:      "table1",
+			Seconds:         1.5,
+			Runs:            12,
+			Events:          1000000,
+			QueuedEvents:    720000,
+			Packets:         24000,
+			EventsPerSec:    666666.67,
+			EventsPerPacket: 30,
+			RunsPerSec:      8,
 		}},
-		TotalSeconds: 1.5,
-		TotalRuns:    12,
-		TotalEvents:  1000000,
-		EventsPerSec: 666666.67,
+		TotalSeconds:    1.5,
+		TotalRuns:       12,
+		TotalEvents:     1000000,
+		TotalQueued:     720000,
+		TotalPackets:    24000,
+		EventsPerSec:    666666.67,
+		EventsPerPacket: 30,
 	}
 	buf, err := json.MarshalIndent(perf, "", "  ")
 	if err != nil {

@@ -95,6 +95,7 @@ func main() {
 	shards := flag.Int("shards", 1, "event-engine shards; >1 parallelizes this run across cores (identical output)")
 	checkInv := flag.Bool("check", false, "enable the runtime invariant checker (~1.4x slower; fails with a node/time-stamped diagnostic on violation)")
 	eventq := flag.String("eventq", "", "event queue: calendar (default) or heap (identical results; perf ablation)")
+	coalesce := flag.String("coalesce", "", "same-tick event coalescing: on (default) or off (identical results; perf ablation)")
 	observe := flag.Bool("observe", false, "instrument the run and print a bottleneck-attribution report")
 	observeWindow := flag.Int64("observe-window", 0, "observation bucket width in time units (0 = default)")
 	traceOut := flag.String("trace-out", "", "write the per-window observation trace as JSONL to this file (implies -observe)")
@@ -123,6 +124,7 @@ func main() {
 			Shards:     *shards,
 			Check:      *checkInv,
 			EventQueue: *eventq,
+			Coalesce:   *coalesce,
 			DebugDump:  *dump,
 		}),
 	}

@@ -26,6 +26,17 @@
 // absolute mode only when baseline and candidate ran on the same runner
 // (e.g. base-SHA vs head-SHA within one CI job).
 //
+// Guard the simulated event VOLUME (queued events per injected packet, the
+// "events/pkt" metric) against a committed ceiling:
+//
+//	go test -bench 'NetworkRunLarge' ./internal/network | \
+//	    benchguard -baseline BENCH.json -volume -threshold 0.02
+//
+// events/pkt counts how many event-queue pops the simulator spends per
+// simulated packet - a property of the code, not the machine - so unlike
+// events/s it compares exactly against a baseline from any host, and the
+// threshold can be tight.
+//
 // Benchmarks appearing in only one side are reported but never fail the
 // check, so the guard tolerates baselines recorded before a benchmark
 // existed. The threshold is deliberately generous (default 10%) - this is
@@ -62,6 +73,10 @@ type Sample struct {
 	N            int     `json:"n"` // samples folded in
 	NsPerOp      float64 `json:"ns_per_op"`
 	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	// EventsPerPacket is the queued-event volume per injected packet
+	// ("events/pkt"), deterministic for a fixed build so runs fold by min
+	// only to shed warm-up artifacts.
+	EventsPerPacket float64 `json:"events_per_packet,omitempty"`
 }
 
 const schemaVersion = 1
@@ -73,6 +88,7 @@ func main() {
 		baseline  = flag.String("baseline", "", "baseline JSON to compare against")
 		threshold = flag.Float64("threshold", 0.10, "allowed fractional events/s loss before failing")
 		ratio     = flag.String("ratio", "", "compare the A/B events-per-sec ratio of two benchmarks (\"A/B\") instead of absolute values")
+		volume    = flag.Bool("volume", false, "compare events/pkt against the baseline ceiling (hardware-independent; fails when current exceeds baseline by more than -threshold)")
 		note      = flag.String("note", "", "free-form note stored in the recorded baseline")
 	)
 	flag.Parse()
@@ -128,12 +144,18 @@ func main() {
 	}
 
 	var failures []string
-	if *ratio != "" {
+	switch {
+	case *ratio != "":
 		failures, err = checkRatio(base.Benchmarks, cur, *ratio, *threshold)
 		if err != nil {
 			fatal(err)
 		}
-	} else {
+	case *volume:
+		failures, err = checkVolume(base.Benchmarks, cur, *threshold)
+		if err != nil {
+			fatal(err)
+		}
+	default:
 		failures = checkAbsolute(base.Benchmarks, cur, *threshold)
 	}
 	if len(failures) > 0 {
@@ -199,6 +221,9 @@ func parseBench(r io.Reader) (map[string]Sample, string, error) {
 		if s.EventsPerSec > prev.EventsPerSec {
 			prev.EventsPerSec = s.EventsPerSec
 		}
+		if s.EventsPerPacket > 0 && (prev.EventsPerPacket == 0 || s.EventsPerPacket < prev.EventsPerPacket) {
+			prev.EventsPerPacket = s.EventsPerPacket
+		}
 		out[name] = prev
 	}
 	return out, cpu, sc.Err()
@@ -236,6 +261,8 @@ func parseBenchLine(line string) (string, Sample, bool) {
 			s.NsPerOp = v
 		case "events/s":
 			s.EventsPerSec = v
+		case "events/pkt":
+			s.EventsPerPacket = v
 		}
 	}
 	if s.NsPerOp == 0 && s.EventsPerSec == 0 {
@@ -288,13 +315,75 @@ func checkAbsolute(base, cur map[string]Sample, threshold float64) []string {
 	return failures
 }
 
+// checkVolume compares events/pkt for every benchmark present in both maps
+// against the baseline's value as a ceiling: simulated event volume is a
+// property of the code, not the machine, so any growth beyond threshold is
+// a real regression (a coalescing or elision path stopped firing).
+// Benchmarks without the metric on either side are skipped.
+func checkVolume(base, cur map[string]Sample, threshold float64) ([]string, error) {
+	var names []string
+	for n, s := range base {
+		if s.EventsPerPacket > 0 {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	var failures []string
+	matched := 0
+	for _, n := range names {
+		c, ok := cur[n]
+		if !ok || c.EventsPerPacket == 0 {
+			fmt.Fprintf(os.Stderr, "benchguard: %s has no events/pkt in input (skipped)\n", n)
+			continue
+		}
+		matched++
+		b, cv := base[n].EventsPerPacket, c.EventsPerPacket
+		fmt.Printf("%-40s baseline %8.2f events/pkt  current %8.2f  (%+.1f%%)\n", n, b, cv, (cv/b-1)*100)
+		if cv > b*(1+threshold) {
+			failures = append(failures,
+				fmt.Sprintf("%s: event volume %.2f -> %.2f events/pkt (+%.1f%%, ceiling %.0f%%)",
+					n, b, cv, (cv/b-1)*100, threshold*100))
+		}
+	}
+	if matched == 0 {
+		return nil, fmt.Errorf("no benchmark with events/pkt in common with the baseline; nothing checked")
+	}
+	return failures, nil
+}
+
+// splitRatioSpec resolves "A/B" where A and B may themselves contain
+// slashes (sub-benchmark names like NetworkRunLarge/queue=calendar): every
+// split point is tried against the baseline's benchmark names, outermost
+// first, and the one where both sides exist wins.
+func splitRatioSpec(base map[string]Sample, spec string) (string, string, bool) {
+	for i := 0; i < len(spec); i++ {
+		if spec[i] != '/' {
+			continue
+		}
+		a, b := spec[:i], spec[i+1:]
+		if a == "" || b == "" {
+			continue
+		}
+		if _, ok := base[a]; !ok {
+			continue
+		}
+		if _, ok := base[b]; ok {
+			return a, b, true
+		}
+	}
+	return "", "", false
+}
+
 // checkRatio compares the A/B throughput ratio in cur against the same
 // ratio in base. This cancels the hardware term, so it is the right check
 // against a baseline committed from a different machine.
 func checkRatio(base, cur map[string]Sample, spec string, threshold float64) ([]string, error) {
-	a, b, ok := strings.Cut(spec, "/")
-	if !ok || a == "" || b == "" {
+	if !strings.Contains(spec, "/") {
 		return nil, fmt.Errorf("-ratio wants \"A/B\", got %q", spec)
+	}
+	a, b, ok := splitRatioSpec(base, spec)
+	if !ok {
+		return nil, fmt.Errorf("-ratio %q: no split \"A/B\" with both sides in the baseline", spec)
 	}
 	get := func(m map[string]Sample, name, side string) (float64, error) {
 		s, ok := m[name]

@@ -116,3 +116,66 @@ func TestCheckRatio(t *testing.T) {
 		t.Error("malformed ratio spec not an error")
 	}
 }
+
+func TestParseEventsPerPacket(t *testing.T) {
+	out := `BenchmarkNetworkRunLarge/queue=calendar-4 	       1	30087419020 ns/op	   1082309 events/s	        22.51 events/pkt
+BenchmarkNetworkRunLarge/queue=calendar-4 	       1	30099999999 ns/op	   1082000 events/s	        22.51 events/pkt
+`
+	m, _, err := parseBench(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m["NetworkRunLarge/queue=calendar"]
+	if s.EventsPerPacket != 22.51 {
+		t.Errorf("EventsPerPacket = %v, want 22.51", s.EventsPerPacket)
+	}
+}
+
+func TestCheckVolume(t *testing.T) {
+	base := map[string]Sample{
+		"A":     {N: 1, EventsPerSec: 1000, EventsPerPacket: 22.5},
+		"B":     {N: 1, EventsPerSec: 1000, EventsPerPacket: 31.0},
+		"NoVol": {N: 1, EventsPerSec: 1000},
+	}
+	cur := map[string]Sample{
+		"A":     {N: 1, EventsPerSec: 5000, EventsPerPacket: 22.8}, // +1.3%: within ceiling
+		"B":     {N: 1, EventsPerSec: 5000, EventsPerPacket: 32.0}, // +3.2%: volume regression
+		"NoVol": {N: 1, EventsPerSec: 5000},
+	}
+	fails, err := checkVolume(base, cur, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fails) != 1 || !strings.Contains(fails[0], "B:") {
+		t.Errorf("failures = %v, want exactly B", fails)
+	}
+	// Volume shrinking (coalescing improved) never fails.
+	cur["B"] = Sample{N: 1, EventsPerPacket: 20}
+	if fails, err = checkVolume(base, cur, 0.02); err != nil || len(fails) != 0 {
+		t.Errorf("improvement flagged: %v %v", fails, err)
+	}
+	// Nothing in common is an error, not a silent pass.
+	if _, err := checkVolume(base, map[string]Sample{"X": {EventsPerPacket: 1}}, 0.02); err == nil {
+		t.Error("empty intersection not an error")
+	}
+}
+
+func TestCheckRatioSlashedNames(t *testing.T) {
+	base := map[string]Sample{
+		"NetworkRunLarge/queue=calendar": {N: 1, EventsPerSec: 1300},
+		"NetworkRunLarge/queue=heap":     {N: 1, EventsPerSec: 1000},
+	}
+	cur := map[string]Sample{
+		"NetworkRunLarge/queue=calendar": {N: 1, EventsPerSec: 2600},
+		"NetworkRunLarge/queue=heap":     {N: 1, EventsPerSec: 2000},
+	}
+	spec := "NetworkRunLarge/queue=calendar/NetworkRunLarge/queue=heap"
+	fails, err := checkRatio(base, cur, spec, 0.10)
+	if err != nil || len(fails) != 0 {
+		t.Errorf("slashed-name ratio: fails=%v err=%v", fails, err)
+	}
+	cur["NetworkRunLarge/queue=calendar"] = Sample{N: 1, EventsPerSec: 2000}
+	if fails, err = checkRatio(base, cur, spec, 0.10); err != nil || len(fails) != 1 {
+		t.Errorf("slashed-name ratio collapse not flagged: fails=%v err=%v", fails, err)
+	}
+}

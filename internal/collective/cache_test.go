@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"alltoall/internal/network"
 	"alltoall/internal/torus"
 )
 
@@ -131,5 +132,52 @@ func TestNetCacheCheckToggle(t *testing.T) {
 	}
 	if !cache.nw.Par.Check {
 		t.Fatal("checked run recycled the unchecked network (stale cache key)")
+	}
+}
+
+// TestNetCacheCrossParams drives one cache through a parameter sweep -
+// credit delay, coalescing, invariant checking - on a fixed shape. The
+// structural-reuse branch of Options.network must recycle the cached
+// network via ResetParams (same machine, re-derived engine state) and
+// still match a fresh build byte for byte.
+func TestNetCacheCrossParams(t *testing.T) {
+	shape := torus.New(4, 4, 2)
+	base := network.DefaultParams()
+	longCredit := base
+	longCredit.CreditDelay = 60
+	uncoalesced := base
+	uncoalesced.Coalesce = network.CoalesceOff
+	params := []network.Params{base, longCredit, uncoalesced, base}
+
+	cache := &NetCache{}
+	var recycled *network.Network
+	for i, par := range params {
+		fresh, err := RunAR(Options{Shape: shape, MsgBytes: 240, Seed: 7, Par: par})
+		if err != nil {
+			t.Fatalf("params %d fresh: %v", i, err)
+		}
+		cached, err := RunAR(Options{Shape: shape, MsgBytes: 240, Seed: 7, Par: par, Cache: cache})
+		if err != nil {
+			t.Fatalf("params %d cached: %v", i, err)
+		}
+		if !reflect.DeepEqual(fresh, cached) {
+			t.Errorf("params %d: cached run diverged from fresh run\nfresh:  %+v\ncached: %+v",
+				i, fresh, cached)
+		}
+		if i == 0 {
+			recycled = cache.nw
+		} else if cache.nw != recycled {
+			t.Fatalf("params %d: cache rebuilt the network instead of recycling (structure unchanged)", i)
+		}
+	}
+
+	// A buffer-structure change must fall back to allocation.
+	bigger := base
+	bigger.VCBytes *= 2
+	if _, err := RunAR(Options{Shape: shape, MsgBytes: 240, Seed: 7, Par: bigger, Cache: cache}); err != nil {
+		t.Fatal(err)
+	}
+	if cache.nw == recycled {
+		t.Fatal("VCBytes change recycled a structurally incompatible network")
 	}
 }

@@ -162,6 +162,7 @@ func RunVMesh(opts Options) (Result, error) {
 	// may recycle (Reset) this one when a cache is in use, zeroing its stats.
 	st1 := nw1.Stats()
 	ev1 := st1.Events()
+	qe1 := st1.QueuedEvents
 	pkts1 := st1.PacketsInjected
 	wire1 := st1.WireBytesInjected
 	linkBusy1 := maxI64(st1.LinkBusy)
@@ -212,6 +213,7 @@ func RunVMesh(opts Options) (Result, error) {
 	r.PhaseTimes = []int64{t1, t2}
 	opts.finishResult(&r, t1+t2, nil)
 	r.Events = ev1 + st2.Events()
+	r.QueuedEvents = qe1 + st2.QueuedEvents
 	r.PacketsInjected = pkts1 + st2.PacketsInjected
 	r.WireBytes = wire1 + st2.WireBytesInjected
 	// Every pair's m application bytes are delivered (directly in phase 1

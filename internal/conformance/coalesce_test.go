@@ -1,0 +1,58 @@
+package conformance
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"alltoall/internal/collective"
+	"alltoall/internal/network"
+)
+
+// TestCoalesceDifferential is the collective-layer byte-identity oracle for
+// event coalescing: every strategy, on torus and mesh shapes, serial and
+// 4-shard, must produce the same Result with Coalesce on and off - except
+// QueuedEvents, whose reduction is coalescing's entire effect. The
+// network-layer twin (network.TestCoalesceIdentical) pins raw Stats; this
+// suite additionally crosses the collective handlers, the multi-phase
+// strategies (VMesh runs two networks), and the Options plumbing.
+func TestCoalesceDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	for _, shape := range shapeMatrix() {
+		for _, strat := range strategies() {
+			for _, shards := range []int{1, 4} {
+				t.Run(fmt.Sprintf("%s/%v/shards=%d", strat, shape, shards), func(t *testing.T) {
+					run := func(coalesce string) collective.Result {
+						res, err := collective.Run(strat, collective.Options{
+							Shape:    shape,
+							MsgBytes: msgBytes,
+							Seed:     1,
+							Shards:   shards,
+							Coalesce: coalesce,
+						})
+						if err != nil {
+							t.Fatalf("%s on %v shards=%d coalesce=%q: %v", strat, shape, shards, coalesce, err)
+						}
+						return res
+					}
+					off := run(network.CoalesceOff)
+					on := run(network.CoalesceOn)
+					if off.QueuedEvents != off.Events {
+						t.Errorf("uncoalesced run queued %d events but processed %d; they must agree",
+							off.QueuedEvents, off.Events)
+					}
+					if on.QueuedEvents >= off.QueuedEvents {
+						t.Errorf("coalescing did not reduce event volume: on %d, off %d",
+							on.QueuedEvents, off.QueuedEvents)
+					}
+					on.QueuedEvents = off.QueuedEvents
+					if !reflect.DeepEqual(on, off) {
+						t.Errorf("coalesced run diverged from uncoalesced run:\non:  %+v\noff: %+v", on, off)
+					}
+				})
+			}
+		}
+	}
+}

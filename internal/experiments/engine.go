@@ -18,6 +18,7 @@ import (
 type Metrics struct {
 	runs    atomic.Int64
 	events  atomic.Int64
+	queued  atomic.Int64
 	packets atomic.Int64
 }
 
@@ -27,6 +28,7 @@ func (m *Metrics) note(r collective.Result) {
 	}
 	m.runs.Add(1)
 	m.events.Add(r.Events)
+	m.queued.Add(r.QueuedEvents)
 	m.packets.Add(r.PacketsInjected)
 }
 
@@ -46,12 +48,32 @@ func (m *Metrics) Events() int64 {
 	return m.events.Load()
 }
 
+// QueuedEvents returns the total events popped from the pending-event
+// queues: smaller than Events() when coalescing folds logical credits and
+// arrivals into shared markers.
+func (m *Metrics) QueuedEvents() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.queued.Load()
+}
+
 // Packets returns the total packets injected.
 func (m *Metrics) Packets() int64 {
 	if m == nil {
 		return 0
 	}
 	return m.packets.Load()
+}
+
+// EventsPerPacket returns the queued-event volume per injected packet, the
+// hardware-independent event-volume metric the bench regression gate
+// watches.
+func (m *Metrics) EventsPerPacket() float64 {
+	if m == nil || m.packets.Load() == 0 {
+		return 0
+	}
+	return float64(m.queued.Load()) / float64(m.packets.Load())
 }
 
 // progressMu serializes per-row progress lines from concurrent workers so

@@ -68,6 +68,12 @@ type Config struct {
 	// heap. Tables are byte-identical either way.
 	EventQueue string
 
+	// Coalesce selects same-tick credit/arrival coalescing for every run
+	// (collective.Options.Coalesce): "" or "on" for the coalescing engine
+	// (the default), "off" for the one-event-per-credit reference engine.
+	// Tables are byte-identical either way.
+	Coalesce string
+
 	// Trace, when non-nil, instruments every collective run with an
 	// observe.Collector and records its per-run summary (and, if the sink
 	// keeps traces, its windowed JSONL trace) under TracePrefix. Tables
@@ -170,7 +176,7 @@ func Names() []string {
 
 func (c Config) opts(s torus.Shape, m int) collective.Options {
 	return collective.Options{Shape: s, MsgBytes: m, Seed: c.Seed, Shards: c.shardsFor(s.P()),
-		Check: c.Check, EventQueue: c.EventQueue}
+		Check: c.Check, EventQueue: c.EventQueue, Coalesce: c.Coalesce}
 }
 
 // shardsFor picks the per-run shard count for a partition of the given node

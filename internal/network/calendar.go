@@ -221,6 +221,36 @@ func (q *calendarQueue) pop() event {
 	return e
 }
 
+// remove deletes the queued event at time t whose key lies in [keyLo, keyHi],
+// if present. Within the horizon it scans one bucket (one tick's ties, short
+// in practice); an event at an in-horizon time can still live in the overflow
+// heap when it was pushed against an older base, so the overflow is always a
+// fallback candidate. The cached minimum is invalidated on success rather
+// than patched - removals are rare next to pops.
+func (q *calendarQueue) remove(t int64, keyLo, keyHi uint64) bool {
+	if uint64(t-q.base) <= uint64(q.mask) {
+		idx := int(t & q.mask)
+		b := q.buckets[idx]
+		for i := len(b) - 1; i >= 0; i-- {
+			if e := b[i]; e.t == t && e.key >= keyLo && e.key <= keyHi {
+				copy(b[i:], b[i+1:])
+				q.buckets[idx] = b[:len(b)-1]
+				if len(b) == 1 {
+					q.occ[idx>>6] &^= 1 << (uint(idx) & 63)
+				}
+				q.n--
+				q.cvalid = false
+				return true
+			}
+		}
+	}
+	if q.over.remove(t, keyLo, keyHi) {
+		q.cvalid = false
+		return true
+	}
+	return false
+}
+
 // Params.EventQueue values (see Params).
 const (
 	// EventQueueCalendar selects the bounded-horizon calendar queue (the
@@ -274,6 +304,17 @@ func (q *eventQueue) top() event {
 		return q.h.top()
 	}
 	return q.cal.top()
+}
+
+// remove deletes the queued event at time t whose key lies in [keyLo, keyHi],
+// if present. Both implementations remove exactly the same event from the
+// same pending multiset, so Stats.QueuedEvents stays queue-structure
+// invariant (the calendar differential oracle depends on that).
+func (q *eventQueue) remove(t int64, keyLo, keyHi uint64) bool {
+	if q.useHeap {
+		return q.h.remove(t, keyLo, keyHi)
+	}
+	return q.cal.remove(t, keyLo, keyHi)
 }
 
 func (q *eventQueue) reset() {

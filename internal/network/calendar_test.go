@@ -224,6 +224,7 @@ func TestEventQueueHeapIdentical(t *testing.T) {
 		return ft, nw.Stats()
 	}
 	ftCal, stCal := run("", 1)
+	queuedByShards := map[int]int64{1: stCal.QueuedEvents}
 	for _, tc := range []struct {
 		queue  string
 		shards int
@@ -234,6 +235,19 @@ func TestEventQueueHeapIdentical(t *testing.T) {
 		if ft != ftCal {
 			t.Errorf("queue=%q shards=%d finish %d, want %d", tc.queue, tc.shards, ft, ftCal)
 		}
+		// QueuedEvents is queue-structure invariant (both structures remove
+		// and pop the same multiset) but only shard-count invariant up to
+		// boundary-credit elision decisions (coalesce.go): pin it exactly
+		// across queues at each shard count, normalize across shard counts.
+		if q, ok := queuedByShards[tc.shards]; ok {
+			if st.QueuedEvents != q {
+				t.Errorf("queue=%q shards=%d QueuedEvents %d, want %d (structure changed the pop multiset)",
+					tc.queue, tc.shards, st.QueuedEvents, q)
+			}
+		} else {
+			queuedByShards[tc.shards] = st.QueuedEvents
+		}
+		st.QueuedEvents = stCal.QueuedEvents
 		if !reflect.DeepEqual(st, stCal) {
 			t.Errorf("queue=%q shards=%d stats diverge from calendar serial run", tc.queue, tc.shards)
 		}
@@ -278,10 +292,14 @@ func BenchmarkEventQueueHeap(b *testing.B)     { benchEventQueue(b, EventQueueHe
 func BenchmarkEventQueueCalendar(b *testing.B) { benchEventQueue(b, EventQueueCalendar) }
 
 // BenchmarkNetworkRunLarge is the engine-level before/after for the event
-// queue on a table2-shaped (asymmetric, Y-dominant) partition - the regime
-// where the event backlog is deepest and the heap's O(log n) sifts cost the
-// most. Sub-benchmarks pin the two queues on identical workloads; the
-// simulations are byte-identical, so the events/s ratio is pure queue cost.
+// queue and for event coalescing on a table2-shaped (asymmetric,
+// Y-dominant) partition - the regime where the event backlog is deepest.
+// The queue=heap and queue=calendar sub-benchmarks pin the two queue
+// structures (coalescing on, the default); queue=calendar/coalesce=off is
+// the uncoalesced reference. All simulations are byte-identical, so the
+// events/s ratios isolate pure engine cost, and events/pkt (queued-event
+// pops per injected packet) is the machine-independent volume metric the
+// CI ceiling check guards.
 func BenchmarkNetworkRunLarge(b *testing.B) {
 	shape := torus.New(8, 16, 8)
 	p := shape.P()
@@ -292,11 +310,21 @@ func BenchmarkNetworkRunLarge(b *testing.B) {
 		}
 		return srcs
 	}
-	for _, queue := range []string{EventQueueHeap, EventQueueCalendar} {
-		b.Run("queue="+queue, func(b *testing.B) {
+	cases := []struct {
+		name     string
+		queue    string
+		coalesce string
+	}{
+		{"queue=" + EventQueueHeap, EventQueueHeap, ""},
+		{"queue=" + EventQueueCalendar, EventQueueCalendar, ""},
+		{"queue=" + EventQueueCalendar + "/coalesce=" + CoalesceOff, EventQueueCalendar, CoalesceOff},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
 			b.ReportAllocs()
 			par := DefaultParams()
-			par.EventQueue = queue
+			par.EventQueue = c.queue
+			par.Coalesce = c.coalesce
 			nw, err := New(shape, par, mkSrcs(), countOnly{})
 			if err != nil {
 				b.Fatal(err)
@@ -304,7 +332,7 @@ func BenchmarkNetworkRunLarge(b *testing.B) {
 			if _, err := nw.Run(1 << 42); err != nil {
 				b.Fatal(err)
 			}
-			var events int64
+			var events, queued, packets int64
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if err := nw.Reset(mkSrcs(), countOnly{}); err != nil {
@@ -313,9 +341,13 @@ func BenchmarkNetworkRunLarge(b *testing.B) {
 				if _, err := nw.Run(1 << 42); err != nil {
 					b.Fatal(err)
 				}
-				events += nw.Stats().Events()
+				st := nw.Stats()
+				events += st.Events()
+				queued += st.QueuedEvents
+				packets += st.PacketsInjected
 			}
 			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+			b.ReportMetric(float64(queued)/float64(packets), "events/pkt")
 		})
 	}
 }

@@ -1,0 +1,520 @@
+package network
+
+// Same-tick credit & arrival coalescing.
+//
+// The torus's flow control is per-packet: every hop costs one evArrive at the
+// downstream router and one evCredit back at the upstream one, so arrivals
+// and credits dominate event volume (roughly three quarters of the queue
+// traffic of a saturated all-to-all). Under contention they cluster: a router
+// draining several inputs on one tick emits a burst of credits that all land
+// at the same upstream (node, now+CreditDelay), and the uncoalesced engine
+// pays a queue push, a pop, and a dispatch for each.
+//
+// Coalescing generalizes the svcPend trick (engine.go) to these two stateful
+// event kinds. All credits/arrivals landing at one (node, tick) accumulate in
+// a per-node side table and share ONE queued marker event; the marker's
+// handler replays the individual credits/arrivals in exactly the order the
+// uncoalesced engine would have popped them, so the simulation - every
+// arbitration pass, router mutation, observer callback, statistic, and the
+// finish time - is byte-identical with coalescing on or off, serial or
+// sharded (the differential suite in coalesce_test.go and the conformance
+// goldens hold it to that).
+//
+// Replay-order argument. Events are dispatched in the strict (t, node, kind,
+// arg) order of less() (heap.go). Fix a marker for (t, node, kind):
+//
+//  1. Everything at (t', ...) with t' < t popped before the marker, and
+//     nothing can be pushed at t' < t once now = t (time is monotonic).
+//  2. Everything at (t, node', ...) with node' < node popped before the
+//     marker (the marker was the queue minimum when it popped, and every
+//     push while now = t targets the node being dispatched - service
+//     wakeups, CPU kicks - or a strictly later tick - arrivals land at
+//     least PacketGranule+RouterDelay ahead, credits CreditDelay >= 1).
+//  3. Within (t, node), kinds order arrive(0) < service(1) < cpuKick(2) <
+//     credit(3), and same-kind events order by ascending arg. The
+//     accumulated args replayed in ascending order therefore reproduce the
+//     uncoalesced block - EXCEPT that dispatching one credit can push a
+//     same-tick event of a smaller kind at the same node (a reception-freed
+//     service wakeup, a source-wait CPU kick), which the uncoalesced engine
+//     would pop between two credits. The replay loop reproduces that
+//     interleaving literally: before each logical credit it drains every
+//     queued event that sorts before the credit's virtual (t, node, kind,
+//     arg) key. For arrivals nothing can sort between two args of the same
+//     block (every same-tick push during an arrival dispatch has kind >= 1,
+//     which sorts after kind 0), so the arrival drain never fires; it is
+//     kept for symmetry and costs one compare per logical arrival.
+//
+// The gate: coalescing requires CreditDelay >= 1 (coalesceEnabled). With
+// credits at least one tick out, no dispatch at tick t can append to a
+// (node, t) batch - so a batch is complete when its marker pops, and a slot
+// can never be claimed twice for one tick. Arrivals always land at least
+// PacketGranule later and need no extra condition. The sharded engine's
+// window protocol independently guarantees cross-shard effects land strictly
+// after the receiver's clock (t >= gmin + window > now), so inbox-fed
+// batches also complete before their markers pop.
+//
+// Storage. The side tables are SoA arrays on Network, indexed
+// node*coalWays+way, so they are shard-partitioned exactly like the router
+// state: an engine touches only its own nodes' slots. coalWays packed slots
+// per node cover the common case of a few distinct in-flight ticks (one per
+// upstream service burst for credits, one per incoming link for arrivals),
+// and each slot stores its batch inline in a flat argument array
+// (coalArgsCap entries) - no per-slot heap slice, so accumulating a credit
+// touches three dense cache lines (tick, count, args) instead of chasing a
+// slice header into a scattered backing array. That matters more than it
+// looks: the accumulator tables are read/written once per logical credit
+// and arrival, and any sprawl here evicts the router rings that the
+// arbitration scan (the hottest loop in the simulator) lives on. The
+// overflow - a fifth same-tick distinct tick, or a batch outgrowing its
+// inline capacity - goes to a small per-engine spill list that is consulted
+// on every slot miss and merged back during lookup, never dropped to plain
+// events (which would break the replay order above).
+//
+// Lazy credit elision. Same-tick ties alone merge only a few percent of the
+// queue traffic - credits land on mostly-distinct ticks. The larger win is
+// that most credit events are provable no-ops: the credit for (node, dir)
+// lands at t = now + CreditDelay, and when node's output link dir is still
+// busy at t the event does nothing but mature the tokens - service(node,
+// 1<<dir) returns before even rotating the arbitration cursor when the masked
+// link is not in freeMask (engine.go), firing no observer callback and
+// touching no router state. Such a credit needs no queued event at all:
+//
+//   - outBusy is monotone (a grant requires the link free, so busy times only
+//     ever extend), so "busy through t" observed at credit-creation time still
+//     holds at t.
+//   - tok[node][dir] is read only by arbitration at node restricted to
+//     free-at-now outputs (tryRoute's candidate loop checks freeMask before
+//     reading tokens) and by the checker. The link frees at some T > t, and
+//     that T carries a hard link-free service event at node (tryRoute always
+//     pushes or shares one), so flushing stashed credits with tick <= now at
+//     the top of every dispatch for node applies them before ANY possible
+//     read: the token trajectory at every read point is identical to the
+//     uncoalesced engine's, even though the adds happen late (or, within one
+//     tick, early - a busy link is outside freeMask for the whole tick, so
+//     same-tick arbitration never sees its tokens either way).
+//
+// Credits whose link is (or may be, by t) free keep their exact-time marker:
+// those are the ones that can grant. The stash decision is made where the
+// upstream router's outBusy is readable - at creation for in-shard credits,
+// at the window barrier for batched cross-shard ones. The receiver's clock
+// has advanced past the sender's by then, so a boundary credit can be elided
+// in a sharded run but queued serially (or vice versa); the simulation is
+// byte-identical regardless (the event was a no-op on both sides of the
+// decision), but Stats.QueuedEvents can differ by a few counts across shard
+// counts - the differential oracles normalize it, and it stays exactly
+// deterministic for a fixed (params, shards) configuration.
+//
+// Event removal. Three further no-op pop classes leave the queue outright
+// (eventQueue.remove), each provably side-effect-free at its removal point:
+// a soft svcPend wakeup whose slot was consumed by a drain or retargeted
+// earlier (drainSoft, scheduleService); a hard link-free wakeup whose tick
+// stopped freeing any link because every same-tick link was re-granted
+// first (tryRoute); and a pending credit marker whose whole batch a fresh
+// grant turned into provable no-ops (convertCredits). A removed event still
+// counts in EventsByKind - it is the same logical no-op the uncoalesced
+// engine pops - so Events() stays identical on or off; only QueuedEvents
+// drops.
+
+// coalWays is the number of packed per-node accumulator slots per event kind.
+const coalWays = 4
+
+// coalArgsCap is the inline argument capacity of one packed slot. Six covers
+// every arrival batch outright (simultaneous arrivals come from distinct
+// input directions, of which there are six); a credit batch outgrowing it
+// (one upstream service pass popping many packets on one tick) migrates to
+// the spill list.
+const coalArgsCap = 6
+
+// coalSpill is one overflow accumulator: a (node, tick) batch that found all
+// coalWays slots holding other ticks.
+type coalSpill struct {
+	t    int64
+	node int32
+	args []int32
+}
+
+// coalesceEnabled reports whether the engine runs with credit/arrival
+// coalescing for the given parameters: on unless explicitly disabled, and
+// only when CreditDelay >= 1 (the completeness condition above; CreditDelay
+// 0 is a degenerate ablation configuration that also disables sharding).
+func coalesceEnabled(par Params) bool {
+	return par.Coalesce != CoalesceOff && par.CreditDelay >= 1
+}
+
+// insertArg appends a into b keeping ascending order (the replay order).
+// Batches are short - same-tick ties at one node - so the shift is cheap.
+func insertArg(b []int32, a int32) []int32 {
+	b = append(b, a)
+	i := len(b) - 1
+	for i > 0 && b[i-1] > a {
+		b[i] = b[i-1]
+		i--
+	}
+	b[i] = a
+	return b
+}
+
+// coalPut accumulates one logical event (arg) landing at (node, t) into the
+// given side table: at/cnt/args are the full SoA arrays (args flat, stride
+// coalArgsCap per slot), spill the engine's overflow list for that kind, and
+// pend the per-node armed-packed-batch counter (nil for arrivals, which have
+// no converter to gate). Returns true when this is the first entry of a new
+// (node, t) batch - the caller then arms the single marker event. One
+// function does locate+insert so the slot scan runs once per logical event.
+func (e *engine) coalPut(at []int64, cnt []uint8, args []int32, spill *[]coalSpill, pend []uint8, node int32, t int64, arg int32) (armed bool) {
+	base := int(node) * coalWays
+	slots := at[base : base+coalWays : base+coalWays]
+	free := -1
+	for w := 0; w < coalWays; w++ {
+		switch slots[w] {
+		case t:
+			n := int(cnt[base+w])
+			if n < coalArgsCap {
+				a := args[(base+w)*coalArgsCap : (base+w)*coalArgsCap+n+1]
+				a[n] = arg
+				for i := n; i > 0 && a[i-1] > arg; i-- {
+					a[i] = a[i-1]
+					a[i-1] = arg
+				}
+				cnt[base+w] = uint8(n + 1)
+				return false
+			}
+			// Inline capacity exhausted: migrate the batch to the spill
+			// list (marker already armed; lookups check spill on slot
+			// miss, so the batch stays findable).
+			var buf []int32
+			if k := len(e.spillFree); k > 0 {
+				buf = e.spillFree[k-1]
+				e.spillFree = e.spillFree[:k-1]
+			}
+			buf = append(buf, args[(base+w)*coalArgsCap:(base+w)*coalArgsCap+n]...)
+			buf = insertArg(buf, arg)
+			*spill = append(*spill, coalSpill{t: t, node: node, args: buf})
+			slots[w] = 0
+			cnt[base+w] = 0
+			if pend != nil {
+				pend[node]--
+			}
+			return false
+		case 0:
+			if free < 0 {
+				free = w
+			}
+		}
+	}
+	// A spill batch for (node, t) may exist even when a slot is free (the
+	// slot freed after the spill was created), so the spill scan must come
+	// before claiming.
+	for i := range *spill {
+		if sp := &(*spill)[i]; sp.node == node && sp.t == t {
+			sp.args = insertArg(sp.args, arg)
+			return false
+		}
+	}
+	if free >= 0 {
+		slots[free] = t
+		args[(base+free)*coalArgsCap] = arg
+		cnt[base+free] = 1
+		if pend != nil {
+			pend[node]++
+		}
+		return true
+	}
+	var buf []int32
+	if k := len(e.spillFree); k > 0 {
+		buf = e.spillFree[k-1]
+		e.spillFree = e.spillFree[:k-1]
+	}
+	*spill = append(*spill, coalSpill{t: t, node: node, args: append(buf, arg)})
+	return true
+}
+
+// coalFind locates the (node, t) batch a popped marker announces. The slot
+// (way >= 0) or spill entry (way < 0, spill index in sidx) stays CLAIMED
+// while the caller replays - releasing it early would let a drained dispatch
+// claim the slot for a future tick and overwrite the inline args out from
+// under the replay loop. coalRelease frees it afterwards. A claimed slot's
+// inline args cannot move or grow mid-replay (batches complete before their
+// marker pops; see the gate above), and new spill entries appended during
+// the replay never move earlier ones, so both views stay valid.
+func coalFind(at []int64, cnt []uint8, args []int32, spill []coalSpill, node int32, t int64) (batch []int32, way, sidx int) {
+	base := int(node) * coalWays
+	for w := 0; w < coalWays; w++ {
+		if at[base+w] == t {
+			off := (base + w) * coalArgsCap
+			return args[off : off+int(cnt[base+w])], w, -1
+		}
+	}
+	for i := range spill {
+		if spill[i].node == node && spill[i].t == t {
+			return spill[i].args, -1, i
+		}
+	}
+	panic("network: coalesced marker popped with no pending batch")
+}
+
+// coalRelease frees the slot or spill entry coalFind returned, recycling the
+// spill entry's args backing through spillFree so steady-state runs stay
+// allocation-free. pend mirrors coalPut's counter (nil for arrivals).
+func (e *engine) coalRelease(at []int64, cnt []uint8, spill *[]coalSpill, pend []uint8, node int32, way, sidx int) {
+	if way >= 0 {
+		at[int(node)*coalWays+way] = 0
+		cnt[int(node)*coalWays+way] = 0
+		if pend != nil {
+			pend[node]--
+		}
+		return
+	}
+	sp := *spill
+	last := len(sp) - 1
+	e.spillFree = append(e.spillFree, sp[sidx].args[:0])
+	sp[sidx] = sp[last]
+	sp[last] = coalSpill{}
+	*spill = sp[:last]
+}
+
+// scheduleCredit accumulates a token return landing at (node, t), arming the
+// batch's marker event on first entry. Coalesced-mode replacement for the
+// direct evCredit push in sendCredit.
+func (e *engine) scheduleCredit(node int32, t int64, arg int32) {
+	if e.coalPut(e.credAt, e.credCnt, e.credArgs, &e.credSpill, e.credPend, node, t, arg) {
+		e.evq.push(mkEvent(t, node, 0, evCredit))
+	}
+	e.coalSched[0]++
+}
+
+// lazyCredit is one elided token return: tokens that mature at t but need no
+// wakeup because their link is provably busy through t (see the lazy credit
+// elision argument above).
+type lazyCredit struct {
+	t   int64
+	arg int32
+}
+
+// stashCredit records a no-op credit for (node, t) without queueing anything;
+// flushLazy applies it before the node's next possible token read. The caller
+// has verified outBusy[node, dir] > t.
+func (e *engine) stashCredit(node int32, t int64, arg int32) {
+	e.lazy[node] = append(e.lazy[node], lazyCredit{t: t, arg: arg})
+	e.lazyAdd++
+}
+
+// flushLazy applies every stashed credit for node that has matured (tick <=
+// now), compacting the rest in place. Called at the top of dispatch whenever
+// the node's stash is non-empty: every token read at node happens inside a
+// dispatch for node, so application is never observably late.
+func (e *engine) flushLazy(node int32) {
+	l := e.lazy[node]
+	keep := l[:0]
+	for _, lc := range l {
+		if lc.t > e.now {
+			keep = append(keep, lc)
+			continue
+		}
+		e.stats.EventsByKind[evCredit]++
+		e.lazyApply++
+		dir, vc, cost := creditUnpack(lc.arg)
+		e.tok[tokIdx(node, dir, int(vc))] += cost
+	}
+	e.lazy[node] = keep
+}
+
+// convertCredits retires pending credit markers at node that a fresh grant
+// just made no-op: the grant extended one link's busy time to busyUntil, and
+// a batch at tick t in (now, busyUntil) whose every credit targets a link
+// busy through t now satisfies the lazy-elision condition after the fact
+// (busy times only extend, so the check is stable). Such a batch's credits
+// move to the lazy stash, its marker event is removed from the queue, and
+// the ledger is rewritten as if the credits had been elided at creation.
+//
+// The batch at tick == now converts too - it is the common case: a credit
+// lands exactly when its link frees, and a same-tick grant (whose dispatch
+// kind sorts before the kind-3 marker) re-busies the link before the marker
+// pops. Its stashed credits mature at the next dispatch for node, which is
+// strictly later than the marker's pop position (one credit marker per
+// (node, tick), and every smaller-kind event at (now, node) sorts before a
+// grant site), so no token read lands between the two application points.
+// The one (node, now) batch that must NOT convert is the one replayCredits
+// is walking right now - already popped, slot claimed - which rpNode/rpT
+// identify. Only the packed slots are scanned: spill batches are
+// pathological-parameter territory and stay event-driven. The credPend
+// counter (armed packed credit batches per node) gates the whole scan: most
+// grants happen at nodes with no pending credit marker, and those pay one
+// dense byte load instead of touching the slot tables at all.
+func (e *engine) convertCredits(node int32, lnk int, busyUntil int64) {
+	if e.credPend[node] == 0 {
+		return
+	}
+	base := int(node) * coalWays
+	for w := 0; w < coalWays; w++ {
+		t := e.credAt[base+w]
+		if t == 0 || t < e.now || t >= busyUntil || (t == e.rpT && node == e.rpNode) {
+			continue
+		}
+		args := e.credArgs[(base+w)*coalArgsCap : (base+w)*coalArgsCap+int(e.credCnt[base+w])]
+		busy := true
+		for _, a := range args {
+			dir, _, _ := creditUnpack(a)
+			if e.outBusy[lnk+dir] <= t {
+				busy = false
+				break
+			}
+		}
+		if !busy {
+			continue
+		}
+		k := mkEvent(0, node, 0, evCredit).key
+		if !e.evq.remove(t, k, k) {
+			continue // marker unexpectedly absent; leave the batch event-driven
+		}
+		for _, a := range args {
+			e.lazy[node] = append(e.lazy[node], lazyCredit{t: t, arg: a})
+		}
+		n := int64(len(args))
+		e.lazyAdd += n
+		e.coalSched[0] -= n
+		e.credAt[base+w] = 0
+		e.credCnt[base+w] = 0
+		e.credPend[node]--
+	}
+}
+
+// scheduleArrive accumulates a packet arrival at (node, t); arg is
+// arriveArg(inDir, pid) with pid already re-homed into this engine's pool.
+func (e *engine) scheduleArrive(t int64, node int32, arg int32) {
+	if e.coalPut(e.arrAt, e.arrCnt, e.arrArgs, &e.arrSpill, nil, node, t, arg) {
+		e.evq.push(mkEvent(t, node, 0, evArrive))
+	}
+	e.coalSched[1]++
+}
+
+// replayCredits dispatches one credit marker: every token return accumulated
+// for (node, t), in ascending arg order, each preceded by a drain of queued
+// events that sort before it (see the replay-order argument above). Logical
+// statistics and per-event invariant checks run per replayed credit, exactly
+// as the uncoalesced engine would.
+func (e *engine) replayCredits(t int64, node int32) {
+	e.rpNode, e.rpT = node, t
+	args, way, sidx := coalFind(e.credAt, e.credCnt, e.credArgs, e.credSpill, node, t)
+	for _, a := range args {
+		virt := mkEvent(t, node, a, evCredit)
+		for e.evq.len() > 0 && less(e.evq.top(), virt) {
+			e.dispatch(e.evq.pop())
+		}
+		e.stats.EventsByKind[evCredit]++
+		e.coalRep[0]++
+		dir, vc, cost := creditUnpack(a)
+		e.tok[tokIdx(node, dir, int(vc))] += cost
+		e.service(node, 1<<dir)
+		if e.par.Check {
+			if e.vio == nil {
+				if v := e.checkNode(node); v != nil {
+					e.vio = v
+				}
+			}
+			if e.vio != nil {
+				break // first violation aborts the run at the caller
+			}
+		}
+	}
+	e.coalRelease(e.credAt, e.credCnt, &e.credSpill, e.credPend, node, way, sidx)
+	e.rpNode = -1
+}
+
+// replayArrivals dispatches one arrival marker: every packet that finished
+// traversing a link into node on tick t, in ascending (inDir, pid) arg order
+// - the same order the uncoalesced engine pops, and pid-independent because
+// simultaneous arrivals always come from distinct input directions (heap.go).
+func (e *engine) replayArrivals(t int64, node int32) {
+	args, way, sidx := coalFind(e.arrAt, e.arrCnt, e.arrArgs, e.arrSpill, node, t)
+	for _, a := range args {
+		virt := mkEvent(t, node, a, evArrive)
+		for e.evq.len() > 0 && less(e.evq.top(), virt) {
+			e.dispatch(e.evq.pop())
+		}
+		e.stats.EventsByKind[evArrive]++
+		e.coalRep[1]++
+		e.arrive(node, arrivePid(a))
+		if e.par.Check {
+			if e.vio == nil {
+				if v := e.checkNode(node); v != nil {
+					e.vio = v
+				}
+			}
+			if e.vio != nil {
+				break
+			}
+		}
+	}
+	e.coalRelease(e.arrAt, e.arrCnt, &e.arrSpill, nil, node, way, sidx)
+}
+
+// Cross-shard credit batching. With coalescing on, credits crossing a shard
+// boundary travel as a packed word stream per (shard-pair) instead of one
+// 56-byte xmsg each: a [tick, count] header pair followed by count words of
+// (node << 32 | arg). Generation times are nondecreasing within a window, so
+// consecutive same-tick credits - the common case under contention - share
+// one header and cost 8 bytes apiece. The receiver decodes the stream at the
+// window barrier straight into its accumulator tables.
+
+// creditRec is one decoded cross-shard credit.
+type creditRec struct {
+	t         int64
+	node, arg int32
+}
+
+// creditBatch is the packed per-destination-shard credit stream. hdr indexes
+// the open tick group's count word (-1 when none); the encoder only appends
+// and the receiver resets, under the same barrier discipline as the xmsg
+// outboxes (shard.go).
+type creditBatch struct {
+	words []uint64
+	hdr   int
+	hdrT  int64
+}
+
+func (b *creditBatch) reset() {
+	b.words = b.words[:0]
+	b.hdr = -1
+}
+
+// add appends one credit landing at (node, t). Callers within one window
+// present nondecreasing t; a new tick (or a fresh window) opens a new group.
+func (b *creditBatch) add(t int64, node, arg int32) {
+	if b.hdr < 0 || b.hdrT != t {
+		b.words = append(b.words, uint64(t), 0)
+		b.hdr = len(b.words) - 1
+		b.hdrT = t
+	}
+	b.words[b.hdr]++
+	b.words = append(b.words, uint64(uint32(node))<<32|uint64(uint32(arg)))
+}
+
+// decodeInto appends the stream's credits to dst in stream order, reusing
+// dst's capacity (the drain path passes a per-engine scratch slice). The
+// round-trip with add is fuzzed by FuzzCreditBatch.
+func (b *creditBatch) decodeInto(dst []creditRec) []creditRec {
+	w := b.words
+	for i := 0; i < len(w); {
+		t := int64(w[i])
+		n := int(w[i+1])
+		i += 2
+		for j := 0; j < n; j++ {
+			word := w[i]
+			i++
+			dst = append(dst, creditRec{t: t, node: int32(word >> 32), arg: int32(uint32(word))})
+		}
+	}
+	return dst
+}
+
+// Params.Coalesce values (see Params).
+const (
+	// CoalesceOn selects same-tick credit/arrival coalescing (the default;
+	// "" means the same).
+	CoalesceOn = "on"
+	// CoalesceOff disables coalescing: every credit and arrival is its own
+	// queued event. Escape hatch and differential oracle; output is
+	// byte-identical either way.
+	CoalesceOff = "off"
+)

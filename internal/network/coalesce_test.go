@@ -1,0 +1,281 @@
+package network
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"alltoall/internal/torus"
+)
+
+// coalRun performs one all-to-all run with the given coalescing mode,
+// returning the finish time and full statistics.
+func coalRun(t *testing.T, shape torus.Shape, par Params, shards int, size int32) (int64, *Stats) {
+	t.Helper()
+	p := shape.P()
+	srcs := make([]Source, p)
+	for n := 0; n < p; n++ {
+		srcs[n] = &allToAllSource{self: int32(n), p: int32(p), size: size}
+	}
+	nw, err := New(shape, par, srcs, countOnly{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft, err := nw.RunSharded(1<<40, shards)
+	if err != nil {
+		t.Fatalf("coalesce=%q shards=%d on %v: %v", par.Coalesce, shards, shape, err)
+	}
+	return ft, nw.Stats()
+}
+
+// TestCoalesceIdentical is the engine-level differential oracle: the same
+// simulation with Params.Coalesce on and off must produce the same finish
+// time and byte-identical statistics (QueuedEvents excepted - shrinking it
+// is the whole point) across torus and mesh shapes, serial and sharded,
+// calendar and heap queues, checked and unchecked.
+func TestCoalesceIdentical(t *testing.T) {
+	for _, shape := range []torus.Shape{
+		torus.New(4, 4, 2),
+		torus.NewMesh(4, 4, 2, false, false, false),
+	} {
+		base := DefaultParams()
+		base.Coalesce = CoalesceOff
+		ftOff, stOff := coalRun(t, shape, base, 1, 192)
+		if stOff.QueuedEvents != stOff.Events() {
+			t.Errorf("%v: uncoalesced QueuedEvents %d != Events %d",
+				shape, stOff.QueuedEvents, stOff.Events())
+		}
+		for _, tc := range []struct {
+			name   string
+			queue  string
+			shards int
+			check  bool
+		}{
+			{"serial", "", 1, false},
+			{"serial-checked", "", 1, true},
+			{"sharded", "", 4, false},
+			{"sharded-heap", EventQueueHeap, 4, false},
+		} {
+			par := DefaultParams()
+			par.Coalesce = CoalesceOn
+			par.EventQueue = tc.queue
+			par.Check = tc.check
+			ft, st := coalRun(t, shape, par, tc.shards, 192)
+			if ft != ftOff {
+				t.Errorf("%v %s: finish %d, uncoalesced %d", shape, tc.name, ft, ftOff)
+			}
+			if st.QueuedEvents >= stOff.QueuedEvents {
+				t.Errorf("%v %s: coalescing queued %d events, uncoalesced %d (no reduction)",
+					shape, tc.name, st.QueuedEvents, stOff.QueuedEvents)
+			}
+			st.QueuedEvents = stOff.QueuedEvents
+			if !reflect.DeepEqual(st, stOff) {
+				t.Errorf("%v %s: stats diverge from uncoalesced run\ncoalesced:   %+v\nuncoalesced: %+v",
+					shape, tc.name, st, stOff)
+			}
+		}
+	}
+}
+
+// TestCoalesceEventReduction pins the point of the optimization on a
+// saturated shape: at least 25%% fewer queued events per packet, with the
+// logical event counts untouched.
+func TestCoalesceEventReduction(t *testing.T) {
+	shape := torus.New(8, 4, 4)
+	off := DefaultParams()
+	off.Coalesce = CoalesceOff
+	_, stOff := coalRun(t, shape, off, 1, 256)
+	_, stOn := coalRun(t, shape, DefaultParams(), 1, 256)
+	if stOn.EventsByKind != stOff.EventsByKind {
+		t.Errorf("logical event counts diverge: %v vs %v", stOn.EventsByKind, stOff.EventsByKind)
+	}
+	eppOff := float64(stOff.QueuedEvents) / float64(stOff.PacketsInjected)
+	eppOn := float64(stOn.QueuedEvents) / float64(stOn.PacketsInjected)
+	if eppOn > 0.75*eppOff {
+		t.Errorf("queued events/packet %.2f, uncoalesced %.2f: reduction below 25%%", eppOn, eppOff)
+	}
+	t.Logf("events/packet: %.2f coalesced vs %.2f uncoalesced (%.1f%% fewer)",
+		eppOn, eppOff, 100*(1-eppOn/eppOff))
+}
+
+func TestCoalesceParamValidated(t *testing.T) {
+	par := DefaultParams()
+	par.Coalesce = "sometimes"
+	if _, err := New(torus.New(2, 2, 1), par, nil, countOnly{}); err == nil {
+		t.Fatal("bogus Coalesce accepted")
+	}
+}
+
+// TestCoalSlotSpill drives the accumulator data structure directly: more
+// distinct in-flight ticks than coalWays packed slots must overflow into the
+// spill list, merge later entries into the right batch wherever it lives,
+// and drain back to empty with the arg backing recycled through the pool.
+// It also exercises inline-capacity overflow: a batch outgrowing its
+// coalArgsCap inline entries migrates to the spill list without re-arming.
+func TestCoalSlotSpill(t *testing.T) {
+	e := &engine{}
+	at := make([]int64, coalWays)
+	cnt := make([]uint8, coalWays)
+	args := make([]int32, coalWays*coalArgsCap)
+	pend := make([]uint8, 1)
+	var spill []coalSpill
+
+	const ticks = coalWays + 2
+	for i := 0; i < ticks; i++ {
+		tk := int64(100 + i)
+		if !e.coalPut(at, cnt, args, &spill, pend, 0, tk, int32(10+i)) {
+			t.Fatalf("tick %d: batch not armed", tk)
+		}
+		// Second same-tick arg must merge, sorting before the first.
+		if e.coalPut(at, cnt, args, &spill, pend, 0, tk, int32(5+i)) {
+			t.Fatalf("tick %d: second put armed a duplicate marker", tk)
+		}
+	}
+	if len(spill) != ticks-coalWays {
+		t.Fatalf("spill holds %d batches, want %d", len(spill), ticks-coalWays)
+	}
+	if pend[0] != coalWays {
+		t.Fatalf("pend %d after filling slots, want %d", pend[0], coalWays)
+	}
+
+	// Replay the first (slot-resident) tick, freeing its slot; a fresh entry
+	// for the still-spilled tick must extend the spill batch, not claim the
+	// freed slot (which would split the batch across two markers).
+	batch, way, sidx := coalFind(at, cnt, args, spill, 0, 100)
+	if way < 0 || !reflect.DeepEqual(batch, []int32{5, 10}) {
+		t.Fatalf("tick 100: batch %v (way %d, spill %d)", batch, way, sidx)
+	}
+	e.coalRelease(at, cnt, &spill, pend, 0, way, sidx)
+	if pend[0] != coalWays-1 {
+		t.Fatalf("pend %d after releasing a slot, want %d", pend[0], coalWays-1)
+	}
+	spilledTick := int64(100 + coalWays)
+	if e.coalPut(at, cnt, args, &spill, pend, 0, spilledTick, 99) {
+		t.Fatal("spilled tick re-armed after an unrelated slot freed")
+	}
+
+	for i := 1; i < ticks; i++ {
+		tk := int64(100 + i)
+		batch, way, sidx := coalFind(at, cnt, args, spill, 0, tk)
+		want := []int32{int32(5 + i), int32(10 + i)}
+		if tk == spilledTick {
+			want = append(want, 99)
+		}
+		if !reflect.DeepEqual(batch, want) {
+			t.Errorf("tick %d: batch %v, want %v", tk, batch, want)
+		}
+		e.coalRelease(at, cnt, &spill, pend, 0, way, sidx)
+	}
+	if len(spill) != 0 {
+		t.Errorf("%d spill batches left after draining", len(spill))
+	}
+	for w := 0; w < coalWays; w++ {
+		if at[w] != 0 {
+			t.Errorf("slot %d still claims tick %d", w, at[w])
+		}
+	}
+	if pend[0] != 0 {
+		t.Errorf("pend %d after draining, want 0", pend[0])
+	}
+	if len(e.spillFree) == 0 {
+		t.Error("spill arg backing not recycled to the pool")
+	}
+
+	// Inline overflow: coalArgsCap+1 args on one tick migrate the batch to
+	// the spill list (slot freed, pend decremented, marker NOT re-armed)
+	// with every arg intact and sorted.
+	const tk = int64(500)
+	if !e.coalPut(at, cnt, args, &spill, pend, 0, tk, 0) {
+		t.Fatal("overflow tick: batch not armed")
+	}
+	for i := 1; i <= coalArgsCap; i++ {
+		if e.coalPut(at, cnt, args, &spill, pend, 0, tk, int32(coalArgsCap-i+1)) {
+			t.Fatalf("overflow arg %d re-armed the marker", i)
+		}
+	}
+	if len(spill) != 1 || pend[0] != 0 {
+		t.Fatalf("after overflow: %d spill batches, pend %d; want 1, 0", len(spill), pend[0])
+	}
+	batch, way, sidx = coalFind(at, cnt, args, spill, 0, tk)
+	if way >= 0 || len(batch) != coalArgsCap+1 {
+		t.Fatalf("overflow batch %v (way %d), want %d spilled args", batch, way, coalArgsCap+1)
+	}
+	for i, a := range batch {
+		if a != int32(i) {
+			t.Fatalf("overflow batch %v not sorted", batch)
+		}
+	}
+	e.coalRelease(at, cnt, &spill, pend, 0, way, sidx)
+	if len(spill) != 0 {
+		t.Errorf("%d spill batches left after overflow drain", len(spill))
+	}
+}
+
+// FuzzCreditBatch round-trips the packed cross-shard credit stream: any
+// sequence of (tick, node, arg) records with nondecreasing ticks - the only
+// discipline the encoder assumes, guaranteed by event-time monotonicity
+// within a window - must decode back exactly, in order.
+func FuzzCreditBatch(f *testing.F) {
+	f.Add([]byte{1, 0, 0, 1, 0, 0, 0, 1, 2, 3})
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 250, 6, 7, 8, 0, 9, 10, 11})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var b creditBatch
+		b.reset()
+		var want []creditRec
+		tick := int64(1)
+		for i := 0; i+2 < len(data); i += 3 {
+			tick += int64(data[i]) // nondecreasing; 0 = same tick
+			node := int32(data[i+1])
+			arg := int32(data[i+2]) << 8 // exercise arg bits beyond one byte
+			b.add(tick, node, arg)
+			want = append(want, creditRec{t: tick, node: node, arg: arg})
+		}
+		got := b.decodeInto(nil)
+		if len(got) != len(want) {
+			t.Fatalf("decoded %d records, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("record %d: %+v, want %+v", i, got[i], want[i])
+			}
+		}
+		// A reused stream (window drained, buffer recycled) must behave like
+		// a fresh one.
+		b.reset()
+		if out := b.decodeInto(got[:0]); len(out) != 0 {
+			t.Fatalf("reset stream decoded %d records", len(out))
+		}
+	})
+}
+
+// TestCoalesceNegativeArgOrder pins the arrival replay order against args
+// with the high bit clear but large magnitudes (inDir in the top bits):
+// insertArg must sort exactly like the event key tie-break, i.e. ascending
+// int32.
+func TestCoalesceNegativeArgOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		var b []int32
+		n := 1 + rng.Intn(8)
+		for i := 0; i < n; i++ {
+			b = insertArg(b, int32(rng.Intn(6))<<arrivePidBits|int32(rng.Intn(1<<10)))
+		}
+		for i := 1; i < len(b); i++ {
+			if b[i-1] > b[i] {
+				t.Fatalf("trial %d: args out of order: %v", trial, b)
+			}
+		}
+	}
+}
+
+func init() {
+	// Guard the packing assumption the marker replay relies on: markers use
+	// arg 0, and no real credit/arrival arg is ever negative (creditArg
+	// packs into 19 bits, arriveArg into 31), so ascending-int32 batch order
+	// equals the uint64 key tie-break order.
+	if creditArg(numDirs-1, NumVC-1, MaxPacketBytes) < 0 || arriveArg(numDirs-1, 1<<arrivePidBits-1) < 0 {
+		panic(fmt.Sprintf("packed event args went negative: credit %d arrive %d",
+			creditArg(numDirs-1, NumVC-1, MaxPacketBytes), arriveArg(numDirs-1, 1<<arrivePidBits-1)))
+	}
+}

@@ -40,6 +40,47 @@ type engine struct {
 	svcAt   []int64
 	svcMask []uint8
 
+	// Credit/arrival coalescing state (see coalesce.go). coal caches
+	// coalesceEnabled(par); the SoA slot tables are shared Network arrays
+	// (node-partitioned, like the router SoA above); the spill lists and the
+	// cross-shard credit streams are engine-private.
+	coal      bool
+	credAt    []int64
+	arrAt     []int64
+	credCnt   []uint8 // inline arg count per slot (args flat, stride coalArgsCap)
+	arrCnt    []uint8
+	credArgs  []int32
+	arrArgs   []int32
+	credPend  []uint8 // [node] armed packed credit batches; gates convertCredits
+	credSpill []coalSpill
+	arrSpill  []coalSpill
+	spillFree [][]int32
+	credOut   []creditBatch  // per destination shard; drained at window barriers
+	credRecs  []creditRec    // decode scratch for inbound credit streams
+	coalSched [2]int64       // ledger: logical credits/arrivals accumulated
+	coalRep   [2]int64       // ledger: logical credits/arrivals replayed
+	lazy      [][]lazyCredit // per-node elided no-op credits (shared Network array)
+	lazyAdd   int64          // ledger: credits elided (stashed without an event)
+	lazyApply int64          // ledger: elided credits matured and applied
+
+	// contTok/entTok summarize dynamic-VC token availability per output
+	// direction for the arbitration pass in flight (see tokMasks); they are
+	// recomputed wherever freeOutputs is and after every grant, the only
+	// mid-pass token mutation.
+	contTok uint8
+	entTok  uint8
+
+	// sgNode/sgT identify the serviceGroup dispatch currently on the stack
+	// (sgNode -1 when none): its own hard wakeup is mid-dispatch rather than
+	// queued, so the re-grant elision in tryRoute skips the removal scan.
+	// rpNode/rpT likewise identify the credit batch replayCredits is walking
+	// (rpNode -1 when none): its slot stays claimed mid-replay, and
+	// convertCredits must not retire it out from under the walk.
+	sgNode int32
+	sgT    int64
+	rpNode int32
+	rpT    int64
+
 	inFlight  int64
 	activeSrc int
 
@@ -81,7 +122,30 @@ func (e *engine) init(nw *Network, id, lo, hi int32, stats *Stats) {
 	e.occ = nw.occ
 	e.svcAt = nw.svcAt
 	e.svcMask = nw.svcMask
+	e.coal = coalesceEnabled(nw.Par)
+	e.credAt = nw.credAt
+	e.arrAt = nw.arrAt
+	e.credCnt = nw.credCnt
+	e.arrCnt = nw.arrCnt
+	e.credArgs = nw.credArgs
+	e.arrArgs = nw.arrArgs
+	e.credPend = nw.credPend
+	e.lazy = nw.lazyCred
+	e.sgNode = -1
+	e.rpNode = -1
 	e.evq.init(nw.Par)
+}
+
+// setParams installs new runtime parameters on a recycled engine (see
+// Network.ResetParams): the cached Params copy, the coalescing gate, and the
+// event-queue structure (whose calendar horizon is parameter-derived) must
+// all re-derive. The queue is drained first so a structure switch cannot
+// strand stale events in the inactive implementation.
+func (e *engine) setParams(par Params) {
+	e.par = par
+	e.coal = coalesceEnabled(par)
+	e.evq.reset()
+	e.evq.init(par)
 }
 
 // resetRunState clears everything a run accumulates, keeping allocations
@@ -99,6 +163,24 @@ func (e *engine) resetRunState() {
 	for i := range e.out {
 		e.out[i] = e.out[i][:0]
 	}
+	for i := range e.credOut {
+		e.credOut[i].reset()
+	}
+	for i := range e.credSpill {
+		e.spillFree = append(e.spillFree, e.credSpill[i].args[:0])
+		e.credSpill[i] = coalSpill{}
+	}
+	e.credSpill = e.credSpill[:0]
+	for i := range e.arrSpill {
+		e.spillFree = append(e.spillFree, e.arrSpill[i].args[:0])
+		e.arrSpill[i] = coalSpill{}
+	}
+	e.arrSpill = e.arrSpill[:0]
+	e.coalSched = [2]int64{}
+	e.coalRep = [2]int64{}
+	e.lazyAdd, e.lazyApply = 0, 0
+	e.sgNode, e.sgT = -1, 0
+	e.rpNode, e.rpT = -1, 0
 	e.inMin = 0
 	e.err = nil
 	e.vio = nil
@@ -151,50 +233,78 @@ func (e *engine) processUntil(tend, maxTime int64) error {
 			return fmt.Errorf("network: exceeded max time %d (in flight %d, active sources %d)",
 				maxTime, e.inFlight, e.activeSrc)
 		}
-		kind := ev.kind()
-		node := ev.node()
-		e.stats.EventsByKind[kind]++
-		switch kind {
-		case evArrive:
-			e.arrive(node, arrivePid(ev.arg()))
-		case evService:
-			if ev.arg() != 0 {
-				// A link-free wakeup, possibly standing in for several links
-				// of this node that freed on the same tick (tryRoute pushes
-				// at most one such event per (node, t)); the freed set is
-				// re-derived from the busy times at dispatch.
-				e.serviceGroup(ev.t, node)
-			} else {
-				// A soft coalesced wakeup: consume the pending-service slot.
-				if e.svcMask[node]&svcPendBit != 0 && e.svcAt[node] <= ev.t {
-					mask := e.svcMask[node] & maskAll
-					e.svcMask[node] = 0
-					if mask != 0 {
-						e.service(node, mask)
-					}
-				}
-			}
-		case evCPUKick:
-			e.cpuDoneOrKick(node)
-		case evCredit:
-			dir, vc, cost := creditUnpack(ev.arg())
-			e.tok[tokIdx(node, dir, int(vc))] += cost
-			e.service(node, 1<<dir)
-		}
-		if e.par.Check {
-			// Events mutate only the dispatched node's router, so a
-			// node-local audit after each event covers every mutation.
-			if e.vio == nil {
-				if v := e.checkNode(node); v != nil {
-					e.vio = v
-				}
-			}
-			if e.vio != nil {
-				return e.vio
-			}
+		e.dispatch(ev)
+		if e.par.Check && e.vio != nil {
+			return e.vio
 		}
 	}
 	return nil
+}
+
+// dispatch executes one popped event. Split from processUntil so the
+// coalesced replay loops (coalesce.go) can drain queued events that sort
+// before a logical credit through the identical code path; the recursion is
+// bounded at depth one because drained events at a replaying (t, node) are
+// always plain service/CPU kinds, never another marker. With coalescing on,
+// evArrive/evCredit events are per-(node, tick) markers whose handlers count
+// the logical events they replay; EventsByKind therefore always counts
+// logical simulator actions (identical with coalescing on or off) while
+// QueuedEvents counts actual queue pops.
+func (e *engine) dispatch(ev event) {
+	kind := ev.kind()
+	node := ev.node()
+	e.stats.QueuedEvents++
+	// Elided no-op credits mature before any possible token read at node
+	// (every read happens inside a dispatch for node; see coalesce.go).
+	if e.coal && len(e.lazy[node]) != 0 {
+		e.flushLazy(node)
+	}
+	switch kind {
+	case evArrive:
+		if e.coal {
+			e.replayArrivals(ev.t, node)
+			return
+		}
+		e.stats.EventsByKind[evArrive]++
+		e.arrive(node, arrivePid(ev.arg()))
+	case evService:
+		e.stats.EventsByKind[evService]++
+		if ev.arg() != 0 {
+			// A link-free wakeup, possibly standing in for several links
+			// of this node that freed on the same tick (tryRoute pushes
+			// at most one such event per (node, t)); the freed set is
+			// re-derived from the busy times at dispatch.
+			e.serviceGroup(ev.t, node)
+		} else {
+			// A soft coalesced wakeup: consume the pending-service slot.
+			if e.svcMask[node]&svcPendBit != 0 && e.svcAt[node] <= ev.t {
+				mask := e.svcMask[node] & maskAll
+				e.svcMask[node] = 0
+				if mask != 0 {
+					e.service(node, mask)
+				}
+			}
+		}
+	case evCPUKick:
+		e.stats.EventsByKind[evCPUKick]++
+		e.cpuDoneOrKick(node)
+	case evCredit:
+		if e.coal {
+			e.replayCredits(ev.t, node)
+			return
+		}
+		e.stats.EventsByKind[evCredit]++
+		dir, vc, cost := creditUnpack(ev.arg())
+		e.tok[tokIdx(node, dir, int(vc))] += cost
+		e.service(node, 1<<dir)
+	}
+	if e.par.Check && e.vio == nil {
+		// Events mutate only the dispatched node's router, so a node-local
+		// audit after each event covers every mutation.
+		if v := e.checkNode(node); v != nil {
+			e.vio = v
+		}
+	}
 }
 
 // sendArrive delivers a routed packet to its next node: straight onto the
@@ -210,6 +320,10 @@ func (e *engine) sendArrive(eta int64, dst, pid int32, p *packet) {
 			return
 		}
 	}
+	if e.coal {
+		e.scheduleArrive(eta, dst, arriveArg(p.inDir, pid))
+		return
+	}
 	e.evq.push(mkEvent(eta, dst, arriveArg(p.inDir, pid), evArrive))
 }
 
@@ -222,9 +336,29 @@ func (e *engine) sendCredit(up int32, dir int, vc int8, cost int32) {
 	arg := creditArg(dir, vc, cost)
 	if e.shardOf != nil {
 		if s := e.shardOf[up]; int32(s) != e.id {
+			if e.coal {
+				// Batched word stream: tick-grouped (generation times are
+				// nondecreasing within a window), 8 bytes per credit instead
+				// of a 56-byte xmsg; decoded into the receiver's accumulator
+				// tables at the window barrier (drainInboxes).
+				e.credOut[s].add(t, up, arg)
+				return
+			}
 			e.out[s] = append(e.out[s], xmsg{t: t, node: up, arg: arg, kind: evCredit})
 			return
 		}
+	}
+	if e.coal {
+		// A credit whose link is still transmitting at t cannot grant there:
+		// its event would be a pure no-op (service early-returns on a busy
+		// masked link), so it needs no event at all - just a lazy token add
+		// before the link's own free-time service pass.
+		if e.outBusy[linkIdx(up, dir)] > t {
+			e.stashCredit(up, t, arg)
+			return
+		}
+		e.scheduleCredit(up, t, arg)
+		return
 	}
 	e.evq.push(mkEvent(t, up, arg, evCredit))
 }
@@ -234,13 +368,14 @@ func (e *engine) arrive(node, pid int32) {
 	r := &e.routers[node]
 	qIdx := int(p.inDir)*NumVC + int(p.vc)
 	q := &r.in[p.inDir][p.vc]
-	q.push(pktRef{pid: pid, dst: p.dst, size: p.size, hops: p.hops, vc: p.vc,
-		inDir: p.inDir, want: p.want, det: p.det}, vcCost(p.vc, p.size))
+	q.push(pktRef{size: int16(p.size), hops: p.hops, vcIn: packVCIn(p.vc, p.inDir),
+		want: p.want, det: p.det}, pid, vcCost(p.vc, p.size))
 	e.occ[node] |= 1 << qIdx
 	// A push frees no resources, so the only new candidate move is the
 	// arrived packet itself; a targeted attempt on this queue suffices.
 	if win := e.window(p.vc); q.count <= win {
 		freeMask := e.freeOutputs(node)
+		e.contTok, e.entTok = e.tokMasks(node)
 		e.tryQueue(node, r, q, qIdx, win, &freeMask, maskAll)
 	}
 }
@@ -282,6 +417,38 @@ func (e *engine) freeOutputs(node int32) uint8 {
 	return m
 }
 
+// tokMasks summarizes the node's dynamic-VC token state per output
+// direction: contTok has bit o set when some dynamic VC of output o holds at
+// least one flit-credit (the threshold for traffic continuing along its
+// input dimension), entTok the same at the dimension-entry threshold
+// max(PacketGranule, InjectTokens) (turns and injections). Together with
+// freeMask they decide candidate EXISTENCE exactly as tryRoute's scan does,
+// so a packet whose wanted outputs all fail both masks - and whose escape
+// clock has not expired - can skip tryRoute outright: ~95% of arbitration
+// visits fail, and this keeps those failures off the token array's cache
+// lines, paying the 12 loads once per pass instead of per queued packet.
+func (e *engine) tokMasks(node int32) (contTok, entTok uint8) {
+	base := linkIdx(node, 0) * NumVC
+	toks := e.tok[base : base+numDirs*NumVC]
+	entNeed := e.par.InjectTokens
+	if entNeed < PacketGranule {
+		entNeed = PacketGranule
+	}
+	for o := 0; o < numDirs; o++ {
+		hi := toks[o*NumVC]
+		if t := toks[o*NumVC+1]; t > hi {
+			hi = t
+		}
+		if hi >= PacketGranule {
+			contTok |= 1 << o
+		}
+		if hi >= entNeed {
+			entTok |= 1 << o
+		}
+	}
+	return
+}
+
 // tryQueue attempts to move packets from the first `win` entries of q.
 // Returns true if at least one packet moved. freeMask is updated as links
 // are claimed. Only packets whose desires intersect mask are considered;
@@ -291,24 +458,26 @@ func (e *engine) tryQueue(node int32, r *router, q *pktQueue, qIdx int, win int3
 	moved := false
 	for i := int32(0); i < q.count && i < win; {
 		rf := q.at(i)
-		inDir, vc := rf.inDir, rf.vc
-		cost := rf.size
-		if inDir >= 0 {
-			cost = vcCost(vc, rf.size)
-		}
-		if rf.dst == node {
-			if !r.recv.fits(rf.size) {
+		if rf.want == 0 { // no hops remain: the packet is at its destination
+			size := int32(rf.size)
+			if !r.recv.fits(size) {
 				i++
 				continue
 			}
 			ref := *rf // rf aliases the ring slot removeAt is about to shuffle
+			vc, inDir := rf.vc(), rf.inDir()
+			cost := size
+			if inDir >= 0 {
+				cost = vcCost(vc, size)
+			}
+			pid := q.idAt(i)
 			q.removeAt(i, cost)
 			if inDir >= 0 {
 				e.creditUpstream(node, inDir, vc, cost)
 			} else {
 				e.maybeRunCPU(node)
 			}
-			r.recv.push(ref, ref.size)
+			r.recv.push(ref, pid, size)
 			if e.obs != nil {
 				e.obs.OnRecvFIFO(node, r.recv.bytes)
 			}
@@ -326,8 +495,31 @@ func (e *engine) tryQueue(node int32, r *router, q *pktQueue, qIdx int, win int3
 			i++
 			continue
 		}
-		if granted := e.tryRoute(node, rf, *freeMask); granted >= 0 {
+		// Certain-failure gate: a grant needs a wanted free output whose
+		// dynamic VCs pass the token threshold (entry level, or flit level
+		// for the packet's own input dimension) - or the bubble escape,
+		// which needs an expired escape clock. tryRoute fails without side
+		// effects when none holds, so skipping the call is byte-identical;
+		// the masks mirror its candidate conditions exactly (see tokMasks).
+		if cand := rf.want & *freeMask; cand&e.entTok == 0 {
+			cont := false
+			if inDir := rf.inDir(); inDir >= 0 {
+				cont = cand&e.contTok&(uint8(3)<<(uint8(inDir)&^1)) != 0
+			}
+			if !cont && (rf.blocked == 0 || e.now-rf.blocked < e.par.EscapeDelay) {
+				e.noteBlocked(node, rf, q.count, win)
+				i++
+				continue
+			}
+		}
+		if granted := e.tryRoute(node, rf, q, i, *freeMask); granted >= 0 {
 			*freeMask &^= 1 << granted
+			e.contTok, e.entTok = e.tokMasks(node)
+			vc, inDir := rf.vc(), rf.inDir()
+			cost := int32(rf.size)
+			if inDir >= 0 {
+				cost = vcCost(vc, cost)
+			}
 			q.removeAt(i, cost)
 			if inDir >= 0 {
 				e.creditUpstream(node, inDir, vc, cost)
@@ -357,7 +549,7 @@ func (e *engine) noteBlocked(node int32, rf *pktRef, qCount, win int32) {
 		rf.blocked = e.now
 	}
 	if e.obs != nil {
-		e.obs.OnBlocked(e.now, node, rf.inDir, rf.vc, rf.want, rf.blocked, qCount, win)
+		e.obs.OnBlocked(e.now, node, rf.inDir(), rf.vc(), rf.want, rf.blocked, qCount, win)
 	}
 	// Re-arm the escape-maturity wakeup on every failed pass: a coalesced
 	// earlier wakeup will land here again and reschedule, so the chain
@@ -376,9 +568,22 @@ func (e *engine) noteBlocked(node int32, rf *pktRef, qCount, win int32) {
 // state, not just a wakeup, and run at their exact time via evCredit.
 func (e *engine) scheduleService(node int32, t int64, mask uint8) {
 	sm := e.svcMask[node]
-	if sm&svcPendBit != 0 && e.svcAt[node] <= t {
-		e.svcMask[node] = sm | mask
-		return
+	if sm&svcPendBit != 0 {
+		if e.svcAt[node] <= t {
+			e.svcMask[node] = sm | mask
+			return
+		}
+		if e.coal {
+			// Retargeting earlier strands the later wakeup: remove its queued
+			// event instead of letting it pop stale, counting the logical
+			// no-op pop so EventsByKind stays independent of Coalesce. In
+			// coalesced mode an armed slot always has exactly one queued
+			// event at svcAt (every consume site removes; see drainSoft).
+			k := mkEvent(0, node, 0, evService).key
+			if e.evq.remove(e.svcAt[node], k, k) {
+				e.stats.EventsByKind[evService]++
+			}
+		}
 	}
 	e.svcMask[node] = sm | mask | svcPendBit
 	e.svcAt[node] = t
@@ -395,6 +600,7 @@ func (e *engine) service(node int32, mask uint8) {
 		if freeMask&mask == 0 && mask&maskRecv == 0 {
 			return
 		}
+		e.contTok, e.entTok = e.tokMasks(node)
 		progress := false
 		r.rrCursor++
 		rot := int(r.rrCursor) % nQ
@@ -454,25 +660,39 @@ func (e *engine) service(node int32, mask uint8) {
 // is identical, which is what keeps golden outputs and the serial/sharded
 // identity oracle stable across the coalescing optimization.
 func (e *engine) serviceGroup(t int64, node int32) {
+	e.sgNode, e.sgT = node, t
 	lnk := linkIdx(node, 0)
 	for d := 0; d < numDirs; d++ {
 		if e.outBusy[lnk+d] != t {
 			continue
 		}
-		for e.svcMask[node]&svcPendBit != 0 && e.svcAt[node] <= t {
-			mask := e.svcMask[node] & maskAll
-			e.svcMask[node] = 0
-			if mask != 0 {
-				e.service(node, mask)
-			}
-		}
+		e.drainSoft(t, node)
 		e.service(node, 1<<d)
 	}
 	// A soft wakeup re-armed during the final pass would have popped as its
-	// own arg-0 event right after this one; drain it the same way. (The
-	// event scheduleService pushed for it still pops, finds the slot empty,
-	// and no-ops, as in the uncoalesced engine.)
+	// own arg-0 event right after this one; drain it the same way.
+	e.drainSoft(t, node)
+	e.sgNode = -1
+}
+
+// drainSoft consumes every due coalesced service slot at node (svcAt <= t),
+// running the pending pass exactly as the slot's own arg-0 dispatch would.
+// Without coalescing, the event scheduleService pushed for a drained slot
+// still pops later, finds the slot empty, and no-ops; in coalesced mode that
+// stale pop is pure queue traffic, so the event is removed as the slot is
+// consumed (counting the logical no-op pop to keep EventsByKind independent
+// of Coalesce). The removal maintains the coalesced-mode invariant that an
+// armed slot has exactly one queued arg-0 event, at svcAt - which is why the
+// due slot here always has svcAt == t: an armed earlier-tick slot would mean
+// its event popped without consuming it, which the invariant rules out.
+func (e *engine) drainSoft(t int64, node int32) {
 	for e.svcMask[node]&svcPendBit != 0 && e.svcAt[node] <= t {
+		if e.coal && e.svcAt[node] == t {
+			k := mkEvent(0, node, 0, evService).key
+			if e.evq.remove(t, k, k) {
+				e.stats.EventsByKind[evService]++
+			}
+		}
 		mask := e.svcMask[node] & maskAll
 		e.svcMask[node] = 0
 		if mask != 0 {
@@ -498,10 +718,14 @@ func (e *engine) creditUpstream(node int32, inDir, vc int8, cost int32) {
 // whose bit is set in freeMask. On success the packet is committed to the
 // wire (arrival event scheduled) and the granted direction is returned; the
 // caller pops it from its queue. Returns -1 on failure. Candidate selection
-// runs entirely on the queue-slot header; the packet pool is loaded only to
-// commit a grant, so failed attempts stay off the pool's cache lines.
-func (e *engine) tryRoute(node int32, rf *pktRef, freeMask uint8) int {
+// runs entirely on the queue-slot header; the packet pool and the queue's
+// id ring (rf sits at q slot qi) are loaded only to commit a grant, so
+// failed attempts stay off those cache lines.
+func (e *engine) tryRoute(node int32, rf *pktRef, q *pktQueue, qi int32, freeMask uint8) int {
 	lnk := linkIdx(node, 0)
+	inDir := rf.inDir()
+	toks := e.tok[lnk*NumVC : (lnk+numDirs)*NumVC]
+	injTok := e.par.InjectTokens
 	// Adaptive candidates on the dynamic VCs (JSQ on tokens). A grant only
 	// requires one flit-credit (32 bytes) free: with virtual cut-through
 	// and flit-granular flow control a packet may stream into a buffer
@@ -531,11 +755,11 @@ func (e *engine) tryRoute(node int32, rf *pktRef, freeMask uint8) int {
 			// entrants, which would collapse saturated chains into a
 			// one-hole conveyor.
 			need := int32(PacketGranule)
-			if (rf.inDir < 0 || dimOfDir(int(rf.inDir)) != d) && e.par.InjectTokens > need {
-				need = e.par.InjectTokens
+			if (inDir < 0 || dimOfDir(int(inDir)) != d) && injTok > need {
+				need = injTok
 			}
 			for vc := 0; vc < 2; vc++ {
-				if t := e.tok[(lnk+o)*NumVC+vc]; t >= need && t > bestTok {
+				if t := toks[o*NumVC+vc]; t >= need && t > bestTok {
 					bestDir, bestVC, bestTok = o, vc, t
 				}
 			}
@@ -566,32 +790,34 @@ func (e *engine) tryRoute(node int32, rf *pktRef, freeMask uint8) int {
 		// injection FIFO, a dynamic VC, or another dimension) must leave a
 		// free full-packet bubble, i.e. needs two.
 		need := int32(MaxPacketBytes)
-		joining := rf.vc != VCBubble || rf.inDir < 0 || dimOfDir(int(rf.inDir)) != dimOfDir(o)
+		joining := rf.vc() != VCBubble || inDir < 0 || dimOfDir(int(inDir)) != dimOfDir(o)
 		if joining {
 			need += MaxPacketBytes
 		}
-		if e.tok[(lnk+o)*NumVC+VCBubble] < need {
+		if toks[o*NumVC+VCBubble] < need {
 			return -1
 		}
 		bestDir, bestVC, escJoining = o, VCBubble, joining
 	}
 
 	o, vc := bestDir, bestVC
-	e.tok[(lnk+o)*NumVC+vc] -= vcCost(int8(vc), rf.size)
+	size := int32(rf.size)
+	e.tok[(lnk+o)*NumVC+vc] -= vcCost(int8(vc), size)
 	if e.par.Check && vc == VCBubble {
 		e.checkBubbleGrant(node, o, escJoining, e.tok[(lnk+o)*NumVC+vc])
 	}
-	busyUntil := e.now + int64(rf.size)
+	busyUntil := e.now + int64(size)
+	prevBusy := e.outBusy[lnk+o]
 	e.outBusy[lnk+o] = busyUntil
-	e.stats.LinkBusy[lnk+o] += int64(rf.size)
+	e.stats.LinkBusy[lnk+o] += int64(size)
 	e.stats.GrantsByVC[vc]++
 	if e.obs != nil {
-		e.obs.OnGrant(e.now, node, o, int8(vc), rf.size)
+		e.obs.OnGrant(e.now, node, o, int8(vc), size)
 	}
 	if w := e.par.UtilSampleWindow; w > 0 {
-		e.stats.noteWindowBusy(e.now, w, rf.size)
+		e.stats.noteWindowBusy(e.now, w, size)
 	}
-	pid := rf.pid
+	pid := q.idAt(qi)
 	p := &e.pkts[pid] // grant commit: the packet now changes state
 	if e.nw.traceLog != nil && node == e.nw.traceNode && o == e.nw.traceDir {
 		*e.nw.traceLog = append(*e.nw.traceLog, GrantEvent{T: e.now, Size: p.size, VC: int8(vc), Src: p.src, Dst: p.dst})
@@ -632,6 +858,34 @@ func (e *engine) tryRoute(node int32, rf *pktRef, freeMask uint8) int {
 	}
 	if !dup {
 		e.evq.push(mkEvent(busyUntil, node, 1<<o, evService))
+	}
+	if e.coal {
+		// This link freed exactly on the current tick and is re-granted
+		// before its hard wakeup popped (the grant came from an arrival, a
+		// soft pass, or a credit replay that sorts before it). Once no link
+		// of this node frees on this tick anymore - busy times only ever
+		// extend, so none can come back to it - that wakeup is a guaranteed
+		// no-op: serviceGroup would re-derive an empty freed set, and its
+		// soft drain never finds a due slot (the slot's own arg-0 event
+		// sorts first and is removed at every consume; see drainSoft).
+		// Remove it, counting the logical no-op pop. When the grant happens
+		// inside that very wakeup's serviceGroup the event is mid-dispatch,
+		// not queued: skip the scan.
+		if prevBusy == e.now && (node != e.sgNode || e.now != e.sgT) {
+			still := false
+			for d := 0; d < numDirs; d++ {
+				if d != o && e.outBusy[lnk+d] == e.now {
+					still = true
+					break
+				}
+			}
+			if !still {
+				if e.evq.remove(e.now, mkEvent(0, node, 1, evService).key, mkEvent(0, node, -1, evService).key) {
+					e.stats.EventsByKind[evService]++
+				}
+			}
+		}
+		e.convertCredits(node, lnk, busyUntil)
 	}
 	e.sendArrive(eta, e.nbrs[lnk+o], pid, p)
 	return o
@@ -794,8 +1048,8 @@ func (e *engine) finishCPUOp(node int32, r *router) {
 		e.stats.LastInject = e.now
 		fifo := int(spec.Class) % len(r.inj)
 		q := &r.inj[fifo]
-		q.push(pktRef{pid: pid, dst: p.dst, size: p.size, hops: p.hops, vc: -1,
-			inDir: -1, want: p.want, det: p.det}, spec.Size)
+		q.push(pktRef{size: int16(p.size), hops: p.hops, vcIn: packVCIn(-1, -1),
+			want: p.want, det: p.det}, pid, spec.Size)
 		if e.obs != nil {
 			e.obs.OnInjFIFO(node, fifo, q.bytes)
 		}
@@ -805,6 +1059,7 @@ func (e *engine) finishCPUOp(node int32, r *router) {
 		// FIFO head).
 		if q.count == 1 {
 			freeMask := e.freeOutputs(node)
+			e.contTok, e.entTok = e.tokMasks(node)
 			e.tryQueue(node, r, q, numDirs*NumVC+fifo, 1, &freeMask, maskAll)
 		}
 	}

@@ -99,6 +99,67 @@ func (h *eventHeap) push(e event) {
 	h.ev[i] = e
 }
 
+// remove deletes the queued event at time t whose key lies in [keyLo, keyHi],
+// if present (callers target keys that are unique per (t, node, kind) by
+// construction: the svcPend slot, a coalescing marker, or the dup-elided
+// link-free wakeup). The scan is linear; removal targets provable no-op
+// events (coalesce.go) whose queue traffic is worth the walk.
+func (h *eventHeap) remove(t int64, keyLo, keyHi uint64) bool {
+	for i, ev := range h.ev {
+		if ev.t == t && ev.key >= keyLo && ev.key <= keyHi {
+			last := len(h.ev) - 1
+			le := h.ev[last]
+			h.ev = h.ev[:last]
+			if i < last {
+				h.siftAt(i, le)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// siftAt re-inserts e into the hole a removal left at i: sift down first,
+// and if the hole never moves, sift up (the displaced tail can beat the
+// hole's ancestors when they came from a different subtree).
+func (h *eventHeap) siftAt(i int, e event) {
+	n := len(h.ev)
+	j := i
+	for {
+		first := heapArity*j + 1
+		if first >= n {
+			break
+		}
+		end := first + heapArity
+		if end > n {
+			end = n
+		}
+		smallest, se := first, h.ev[first]
+		for c := first + 1; c < end; c++ {
+			if ce := h.ev[c]; less(ce, se) {
+				smallest, se = c, ce
+			}
+		}
+		if !less(se, e) {
+			break
+		}
+		h.ev[j] = se
+		j = smallest
+	}
+	if j == i {
+		for j > 0 {
+			parent := (j - 1) / heapArity
+			pe := h.ev[parent]
+			if !less(e, pe) {
+				break
+			}
+			h.ev[j] = pe
+			j = parent
+		}
+	}
+	h.ev[j] = e
+}
+
 // pop sifts the displaced tail element down as a hole (one copy per level).
 func (h *eventHeap) pop() event {
 	top := h.ev[0]

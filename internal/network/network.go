@@ -204,6 +204,25 @@ type Network struct {
 	svcAt   []int64  // [node] time of the pending coalesced service pass, if any
 	svcMask []uint8  // [node] wake-reason bits of that pass; bit 7 (svcPendBit) = pending
 
+	// Credit/arrival accumulator slots (see coalesce.go): tick (0 = empty),
+	// inline arg count, and sorted args (flat, stride coalArgsCap) per
+	// [node*coalWays+way], plus a per-node armed-credit-batch counter that
+	// lets the grant path skip the slot tables entirely. Node-partitioned
+	// like the arrays above, so each sharded engine touches only its own
+	// slots; flat inline storage keeps the accumulators off the heap so
+	// they do not evict the router rings.
+	credAt   []int64
+	arrAt    []int64
+	credCnt  []uint8
+	arrCnt   []uint8
+	credArgs []int32
+	arrArgs  []int32
+	credPend []uint8
+
+	// lazyCred[node] holds elided no-op credits awaiting maturity (tokens
+	// whose wakeup was provably useless; see coalesce.go). Node-partitioned.
+	lazyCred [][]lazyCredit
+
 	sources   []Source
 	handler   Handler
 	activeSrc int // nodes with a non-nil source (static per Reset)
@@ -239,16 +258,8 @@ func New(shape torus.Shape, par Params, sources []Source, handler Handler) (*Net
 	if sources != nil && len(sources) != p {
 		return nil, fmt.Errorf("network: %d sources for %d nodes", len(sources), p)
 	}
-	// VCBytes must admit a joining packet under the bubble rule
-	// (size + one full-packet bubble), or the escape channel deadlocks.
-	if par.InjFIFOs < 1 || par.VCBytes < 2*MaxPacketBytes || par.CPUDen <= 0 || par.VCLookahead < 1 {
-		return nil, fmt.Errorf("network: invalid params %+v", par)
-	}
-	switch par.EventQueue {
-	case "", EventQueueCalendar, EventQueueHeap:
-	default:
-		return nil, fmt.Errorf("network: unknown EventQueue %q (want %q or %q)",
-			par.EventQueue, EventQueueCalendar, EventQueueHeap)
+	if err := par.validate(); err != nil {
+		return nil, err
 	}
 	nw := &Network{
 		Shape:   shape,
@@ -267,6 +278,14 @@ func New(shape torus.Shape, par Params, sources []Source, handler Handler) (*Net
 	nw.occ = make([]uint32, p)
 	nw.svcAt = make([]int64, p)
 	nw.svcMask = make([]uint8, p)
+	nw.credAt = make([]int64, p*coalWays)
+	nw.arrAt = make([]int64, p*coalWays)
+	nw.credCnt = make([]uint8, p*coalWays)
+	nw.arrCnt = make([]uint8, p*coalWays)
+	nw.credArgs = make([]int32, p*coalWays*coalArgsCap)
+	nw.arrArgs = make([]int32, p*coalWays*coalArgsCap)
+	nw.credPend = make([]uint8, p)
+	nw.lazyCred = make([][]lazyCredit, p)
 	nw.linkCount = shape.LinkCount()
 	for n := 0; n < p; n++ {
 		nw.coords[n] = shape.Coords(n)
@@ -289,8 +308,10 @@ func New(shape torus.Shape, par Params, sources []Source, handler Handler) (*Net
 	// Every VC can overshoot capacity by one max packet (flit-credit
 	// streaming grants); size those queues for it.
 	vcCap := par.VCBytes + MaxPacketBytes
-	arena := make([]pktRef, int(pktSlots(vcCap))*links*NumVC+
-		p*(int(pktSlots(par.InjFIFOBytes))*par.InjFIFOs+int(pktSlots(par.RecvFIFOBytes))))
+	slots := int(pktSlots(vcCap))*links*NumVC +
+		p*(int(pktSlots(par.InjFIFOBytes))*par.InjFIFOs+int(pktSlots(par.RecvFIFOBytes)))
+	arena := make([]pktRef, slots)
+	idArena := make([]int32, slots)
 	for n := 0; n < p; n++ {
 		r := &nw.routers[n]
 		for d := 0; d < numDirs; d++ {
@@ -298,15 +319,15 @@ func New(shape torus.Shape, par Params, sources []Source, handler Handler) (*Net
 				continue
 			}
 			for vc := 0; vc < NumVC; vc++ {
-				r.in[d][vc], arena = newPktQueueIn(arena, vcCap)
+				r.in[d][vc], arena, idArena = newPktQueueIn(arena, idArena, vcCap)
 				nw.tok[tokIdx(int32(n), d, vc)] = par.VCBytes
 			}
 		}
 		r.inj = make([]pktQueue, par.InjFIFOs)
 		for i := range r.inj {
-			r.inj[i], arena = newPktQueueIn(arena, par.InjFIFOBytes)
+			r.inj[i], arena, idArena = newPktQueueIn(arena, idArena, par.InjFIFOBytes)
 		}
-		r.recv, arena = newPktQueueIn(arena, par.RecvFIFOBytes)
+		r.recv, arena, idArena = newPktQueueIn(arena, idArena, par.RecvFIFOBytes)
 		if sources != nil && sources[n] != nil {
 			nw.activeSrc++
 		} else {
@@ -372,6 +393,14 @@ func (nw *Network) Reset(sources []Source, handler Handler) error {
 		nw.svcAt[n] = 0
 		nw.svcMask[n] = 0
 		nw.occ[n] = 0
+		for w := 0; w < coalWays; w++ {
+			nw.credAt[n*coalWays+w] = 0
+			nw.arrAt[n*coalWays+w] = 0
+			nw.credCnt[n*coalWays+w] = 0
+			nw.arrCnt[n*coalWays+w] = 0
+		}
+		nw.credPend[n] = 0
+		nw.lazyCred[n] = nw.lazyCred[n][:0]
 		r.rrCursor = 0
 		if sources != nil && sources[n] != nil {
 			r.srcDone = false
@@ -381,6 +410,31 @@ func (nw *Network) Reset(sources []Source, handler Handler) error {
 		}
 	}
 	return nil
+}
+
+// ResetParams is Reset for sweeps that also vary the runtime parameters: it
+// installs par on the recycled network and re-derives everything the engines
+// cache from it - the bounded-horizon calendar ring (whose span depends on
+// CreditDelay/RouterDelay/EscapeDelay, see calendarHorizon), the coalescing
+// gate and side tables, the event-queue structure choice, and the per-VC
+// token refill. Only parameters with the same buffer structure can recycle
+// (Params.SameStructure); anything else needs New. Results are byte-identical
+// to a freshly built network (the cross-params regression tests in
+// reset_test.go and collective/cache_test.go hold it to that).
+func (nw *Network) ResetParams(par Params, sources []Source, handler Handler) error {
+	if err := par.validate(); err != nil {
+		return err
+	}
+	if !nw.Par.SameStructure(par) {
+		return fmt.Errorf("network: ResetParams with different buffer structure (have VCBytes=%d InjFIFOs=%d InjFIFOBytes=%d RecvFIFOBytes=%d); build a new network",
+			nw.Par.VCBytes, nw.Par.InjFIFOs, nw.Par.InjFIFOBytes, nw.Par.RecvFIFOBytes)
+	}
+	nw.Par = par
+	nw.eng.setParams(par)
+	for i := range nw.shards {
+		nw.shards[i].setParams(par)
+	}
+	return nw.Reset(sources, handler)
 }
 
 // Now returns the current simulation time (the furthest shard's clock in a

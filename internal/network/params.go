@@ -12,6 +12,8 @@
 // the paper's "processor can keep about four links busy").
 package network
 
+import "fmt"
+
 // Packet size limits, from the Blue Gene/L torus: packets are multiples of
 // 32 bytes up to 256 bytes; the paper's messaging runtime never sends less
 // than 64 bytes.
@@ -105,6 +107,16 @@ type Params struct {
 	// as an escape hatch for one release while the calendar queue beds in.
 	EventQueue string
 
+	// Coalesce selects same-tick credit/arrival coalescing: "" or CoalesceOn
+	// (the default) merges every credit and arrival landing at one
+	// (node, tick) into a single queued marker event whose handler replays
+	// the logical events in the exact uncoalesced order, cutting queued
+	// event volume by roughly a third on saturated runs; CoalesceOff is the
+	// escape hatch and differential oracle. Output is byte-identical either
+	// way, at any shard count (see coalesce.go for the replay-order
+	// argument). Coalescing is inert when CreditDelay < 1.
+	Coalesce string
+
 	// Check enables the runtime invariant checker (internal/check): after
 	// every event the affected router is validated against the model's
 	// conservation laws (credit conservation, bubble slot bounds, FIFO
@@ -141,4 +153,40 @@ func DefaultParams() Params {
 // CPUCost returns the CPU time to handle a packet of size bytes.
 func (p Params) CPUCost(size int32) int64 {
 	return int64(size) * p.CPUNum / p.CPUDen
+}
+
+// validate rejects parameter combinations the simulator cannot run: buffer
+// geometry that deadlocks the escape channel, and unknown enum selectors.
+// Shared by New and ResetParams.
+func (p Params) validate() error {
+	// VCBytes must admit a joining packet under the bubble rule
+	// (size + one full-packet bubble), or the escape channel deadlocks.
+	if p.InjFIFOs < 1 || p.VCBytes < 2*MaxPacketBytes || p.CPUDen <= 0 || p.VCLookahead < 1 {
+		return fmt.Errorf("network: invalid params %+v", p)
+	}
+	switch p.EventQueue {
+	case "", EventQueueCalendar, EventQueueHeap:
+	default:
+		return fmt.Errorf("network: unknown EventQueue %q (want %q or %q)",
+			p.EventQueue, EventQueueCalendar, EventQueueHeap)
+	}
+	switch p.Coalesce {
+	case "", CoalesceOn, CoalesceOff:
+	default:
+		return fmt.Errorf("network: unknown Coalesce %q (want %q or %q)",
+			p.Coalesce, CoalesceOn, CoalesceOff)
+	}
+	return nil
+}
+
+// SameStructure reports whether a network built with p can be recycled for a
+// run under o via ResetParams: the fields that size buffers, rings, and
+// arenas at construction time must match. Everything else - delays, CPU
+// rate, lookahead, event-queue choice, coalescing, checking - is runtime
+// behavior that ResetParams re-derives.
+func (p Params) SameStructure(o Params) bool {
+	return p.VCBytes == o.VCBytes &&
+		p.InjFIFOs == o.InjFIFOs &&
+		p.InjFIFOBytes == o.InjFIFOBytes &&
+		p.RecvFIFOBytes == o.RecvFIFOBytes
 }

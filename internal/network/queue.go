@@ -6,24 +6,34 @@ import "math/bits"
 // and noteBlocked read (and for blocked, write) these fields for every
 // candidate on every pass; keeping them in the ring slot keeps those passes
 // on contiguous memory instead of chasing a random packet-pool pointer per
-// entry. The packet pool is touched only when a packet actually moves: a
-// grant commit (tryRoute rewrites vc/inDir/want/hops/blocked, then the
-// entry leaves the queue) or a delivery. The header fields are settled
-// before the packet is pushed and never change while it sits in a queue, so
-// the copy cannot go stale; blocked is owned by the slot for the duration
-// of the residence (it is 0 at every push, by construction: grants zero it
-// and injections start fresh) and the pool copy is re-zeroed on grant.
+// entry. The struct is deliberately squeezed to 16 bytes - four refs per
+// cache line - because the ring's first-touch miss is the hottest line in
+// the whole simulator: the packet's identity (pool index) lives in a
+// parallel ring (pktQueue.ids) that is only read when a packet actually
+// moves, i.e. on ~2% of visits, and its destination is not stored at all
+// (want == 0 <=> no hops remain <=> the packet is at its destination).
+// The header fields are settled before the packet is pushed and never
+// change while it sits in a queue, so the copy cannot go stale; blocked is
+// owned by the slot for the duration of the residence (it is 0 at every
+// push, by construction: grants zero it and injections start fresh) and
+// the pool copy is re-zeroed on grant.
 type pktRef struct {
-	blocked int64 // time this packet first failed arbitration here (0 = never)
-	pid     int32
-	dst     int32
-	size    int32
-	hops    [3]int8
-	vc      int8
-	inDir   int8
-	want    uint8
+	blocked int64   // time this packet first failed arbitration here (0 = never)
+	size    int16   // wire bytes (<= MaxPacketBytes)
+	hops    [3]int8 // remaining signed hops per dimension
+	vcIn    int8    // packed (vc+1)<<3 | (inDir+1); see packVCIn
+	want    uint8   // bitmask of output directions this packet can use next
 	det     bool
 }
+
+// packVCIn packs a VC index and input direction (both may be -1: injection
+// FIFO residence) into one byte: vc+1 in bits 3.. and inDir+1 in bits 0..2.
+func packVCIn(vc, inDir int8) int8 {
+	return (vc+1)<<3 | (inDir + 1)
+}
+
+func (rf *pktRef) vc() int8    { return rf.vcIn>>3 - 1 }
+func (rf *pktRef) inDir() int8 { return rf.vcIn&7 - 1 }
 
 // pktQueue is a fixed-capacity FIFO of packet refs with byte accounting.
 // Capacity is expressed in bytes; the slot array is sized for the worst case
@@ -33,6 +43,7 @@ type pktRef struct {
 // minimum-size packets binds no later than the pre-rounding slot count.
 type pktQueue struct {
 	buf      []pktRef
+	ids      []int32 // parallel ring: pool index of each queued packet
 	mask     int32
 	head     int32
 	count    int32
@@ -55,7 +66,8 @@ type pktQueue struct {
 
 func newPktQueue(capBytes int32) pktQueue {
 	slots := pktSlots(capBytes)
-	return pktQueue{buf: make([]pktRef, slots), mask: slots - 1, capBytes: capBytes}
+	return pktQueue{buf: make([]pktRef, slots), ids: make([]int32, slots),
+		mask: slots - 1, capBytes: capBytes}
 }
 
 // pktSlots returns the ring size (in slots) backing a queue of capBytes.
@@ -67,21 +79,24 @@ func pktSlots(capBytes int32) int32 {
 	return int32(1) << bits.Len32(uint32(slots-1))
 }
 
-// newPktQueueIn is newPktQueue carving its ring out of arena instead of
-// allocating: it consumes the first pktSlots(capBytes) entries and returns
-// the remainder. Network construction lays every ring of the machine into
-// one slab, in node order, so a service pass visiting several queues of the
-// same node stays within a few contiguous pages instead of chasing one
-// heap allocation per queue (the ring's first-touch miss is the hottest
-// line in the arbitration loop).
-func newPktQueueIn(arena []pktRef, capBytes int32) (pktQueue, []pktRef) {
+// newPktQueueIn is newPktQueue carving its rings out of arena/idArena
+// instead of allocating: it consumes the first pktSlots(capBytes) entries
+// of each and returns the remainders. Network construction lays every ring
+// of the machine into one slab, in node order, so a service pass visiting
+// several queues of the same node stays within a few contiguous pages
+// instead of chasing one heap allocation per queue (the ring's first-touch
+// miss is the hottest line in the arbitration loop). The id ring lives in
+// its own slab: scans never load it, so keeping it out of the header slab
+// doubles the header density per cache line.
+func newPktQueueIn(arena []pktRef, idArena []int32, capBytes int32) (pktQueue, []pktRef, []int32) {
 	slots := pktSlots(capBytes)
-	return pktQueue{buf: arena[:slots:slots], mask: slots - 1, capBytes: capBytes}, arena[slots:]
+	return pktQueue{buf: arena[:slots:slots], ids: idArena[:slots:slots],
+		mask: slots - 1, capBytes: capBytes}, arena[slots:], idArena[slots:]
 }
 
 func (q *pktQueue) empty() bool { return q.count == 0 }
 
-// reset discards all contents, keeping the slot array.
+// reset discards all contents, keeping the slot arrays.
 func (q *pktQueue) reset() {
 	q.head, q.count, q.bytes = 0, 0, 0
 	q.wantOR, q.nDeliv = 0, 0
@@ -92,14 +107,16 @@ func (q *pktQueue) fits(size int32) bool {
 	return q.bytes+size <= q.capBytes && q.count < int32(len(q.buf))
 }
 
-// push appends ref, charging cost bytes against the capacity (the cost is
-// the flow-control footprint, which for escape-VC packets exceeds the wire
-// size).
-func (q *pktQueue) push(ref pktRef, cost int32) {
+// push appends ref for pool packet pid, charging cost bytes against the
+// capacity (the cost is the flow-control footprint, which for escape-VC
+// packets exceeds the wire size).
+func (q *pktQueue) push(ref pktRef, pid, cost int32) {
 	if !q.fits(cost) {
 		panic("network: pktQueue overflow (flow control violated)")
 	}
-	q.buf[(q.head+q.count)&q.mask] = ref
+	pos := (q.head + q.count) & q.mask
+	q.buf[pos] = ref
+	q.ids[pos] = pid
 	q.count++
 	q.bytes += cost
 	q.wantOR |= ref.want
@@ -109,13 +126,12 @@ func (q *pktQueue) push(ref pktRef, cost int32) {
 }
 
 func (q *pktQueue) peek() int32 {
-	return q.buf[q.head].pid
+	return q.ids[q.head]
 }
 
 func (q *pktQueue) pop(cost int32) int32 {
-	rf := &q.buf[q.head]
-	pid := rf.pid
-	if rf.want == 0 {
+	pid := q.ids[q.head]
+	if q.buf[q.head].want == 0 {
 		q.nDeliv--
 	}
 	q.head = (q.head + 1) & q.mask
@@ -133,10 +149,15 @@ func (q *pktQueue) at(i int32) *pktRef {
 	return &q.buf[(q.head+i)&q.mask]
 }
 
+// idAt returns the pool index of the i-th queued packet (0 = head).
+func (q *pktQueue) idAt(i int32) int32 {
+	return q.ids[(q.head+i)&q.mask]
+}
+
 // removeAt removes the i-th entry, preserving the order of the rest.
 func (q *pktQueue) removeAt(i, cost int32) int32 {
 	pos := (q.head + i) & q.mask
-	pid := q.buf[pos].pid
+	pid := q.ids[pos]
 	if q.buf[pos].want == 0 {
 		q.nDeliv--
 	}
@@ -144,6 +165,7 @@ func (q *pktQueue) removeAt(i, cost int32) int32 {
 		cur := (q.head + j) & q.mask
 		prev := (q.head + j - 1) & q.mask
 		q.buf[cur] = q.buf[prev]
+		q.ids[cur] = q.ids[prev]
 	}
 	q.head = (q.head + 1) & q.mask
 	q.count--

@@ -11,7 +11,7 @@ func TestPktQueueFIFO(t *testing.T) {
 		if !q.fits(256) {
 			t.Fatalf("push %d rejected", i)
 		}
-		q.push(pktRef{pid: i}, 256)
+		q.push(pktRef{}, i, 256)
 	}
 	if q.fits(64) {
 		t.Error("overfull accept")
@@ -32,14 +32,14 @@ func TestPktQueueFIFO(t *testing.T) {
 func TestPktQueueRemoveAt(t *testing.T) {
 	q := newPktQueue(2048)
 	for i := int32(0); i < 5; i++ {
-		q.push(pktRef{pid: 10 + i}, 64)
+		q.push(pktRef{}, 10+i, 64)
 	}
 	if got := q.removeAt(2, 64); got != 12 {
 		t.Fatalf("removeAt(2) = %d", got)
 	}
 	want := []int32{10, 11, 13, 14}
 	for i, w := range want {
-		if got := q.at(int32(i)).pid; got != w {
+		if got := q.idAt(int32(i)); got != w {
 			t.Fatalf("after removeAt, at(%d) = %d, want %d", i, got, w)
 		}
 	}
@@ -59,7 +59,7 @@ func TestPktQueueWrapAround(t *testing.T) {
 	expect := int32(0)
 	for round := 0; round < 25; round++ {
 		for q.fits(64) {
-			q.push(pktRef{pid: next}, 64)
+			q.push(pktRef{}, next, 64)
 			next++
 		}
 		q.pop(64)
@@ -67,7 +67,7 @@ func TestPktQueueWrapAround(t *testing.T) {
 		q.removeAt(1, 64) // middle removal under wrap
 		// The removed id is expect+1; account for it.
 		for i := int32(0); i < q.count; i++ {
-			got := q.at(i).pid
+			got := q.idAt(i)
 			if got == expect+1 {
 				t.Fatalf("removed element still present")
 			}
@@ -88,9 +88,9 @@ func TestPktQueueOverflowPanics(t *testing.T) {
 		}
 	}()
 	q := newPktQueue(128)
-	q.push(pktRef{pid: 0}, 64)
-	q.push(pktRef{pid: 1}, 64)
-	q.push(pktRef{pid: 2}, 64)
+	q.push(pktRef{}, 0, 64)
+	q.push(pktRef{}, 1, 64)
+	q.push(pktRef{}, 2, 64)
 }
 
 func TestEventHeapOrdering(t *testing.T) {

@@ -83,3 +83,94 @@ func TestResetRejectsWrongSourceCount(t *testing.T) {
 		t.Error("nil handler accepted")
 	}
 }
+
+// TestResetParamsMatchesFresh: recycling a network across *parameter*
+// changes (delays, event-queue structure, coalescing, checking) must
+// reproduce a fresh network's run exactly. This is the contract that lets
+// the collective NetCache recycle across a parameter sweep: every derived
+// cache - the calendar horizon, the coalescing gate and side tables, the
+// queue-structure choice - has to be rebuilt from the new Params, not
+// inherited from the cached run.
+func TestResetParamsMatchesFresh(t *testing.T) {
+	shape := torus.New(4, 4, 2)
+	p := shape.P()
+	mkSrcs := func() []Source {
+		srcs := make([]Source, p)
+		for n := 0; n < p; n++ {
+			srcs[n] = &allToAllSource{self: int32(n), p: int32(p), size: 192}
+		}
+		return srcs
+	}
+	run := func(nw *Network) (int64, *Stats) {
+		tt, err := nw.Run(1 << 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tt, nw.Stats()
+	}
+
+	base := DefaultParams()
+	longCredit := base
+	longCredit.CreditDelay = 60 // different calendar horizon derivation
+	uncoalesced := base
+	uncoalesced.Coalesce = CoalesceOff
+	heapChecked := base
+	heapChecked.EventQueue = EventQueueHeap
+	heapChecked.Check = true
+	variants := []Params{base, longCredit, uncoalesced, heapChecked, base}
+
+	want := make([]struct {
+		t  int64
+		st *Stats
+	}, len(variants))
+	for i, par := range variants {
+		nw, err := New(shape, par, mkSrcs(), countOnly{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i].t, want[i].st = run(nw)
+	}
+
+	nw, err := New(shape, variants[len(variants)-1], mkSrcs(), countOnly{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(nw)
+	for i, par := range variants {
+		if err := nw.ResetParams(par, mkSrcs(), countOnly{}); err != nil {
+			t.Fatal(err)
+		}
+		gotT, gotSt := run(nw)
+		if gotT != want[i].t {
+			t.Errorf("variant %d: finish %d, fresh %d", i, gotT, want[i].t)
+		}
+		if !reflect.DeepEqual(gotSt, want[i].st) {
+			t.Errorf("variant %d: stats diverged\nrecycled: %+v\nfresh:    %+v", i, gotSt, want[i].st)
+		}
+	}
+}
+
+// TestResetParamsRejectsStructureChange: parameters that size buffers at
+// construction time cannot recycle.
+func TestResetParamsRejectsStructureChange(t *testing.T) {
+	shape := torus.New(4, 2, 1)
+	p := shape.P()
+	srcs := make([]Source, p)
+	for n := 0; n < p; n++ {
+		srcs[n] = &listSource{}
+	}
+	nw, err := New(shape, DefaultParams(), srcs, countOnly{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigger := DefaultParams()
+	bigger.VCBytes *= 2
+	if err := nw.ResetParams(bigger, srcs, countOnly{}); err == nil {
+		t.Error("VCBytes change accepted by ResetParams")
+	}
+	invalid := DefaultParams()
+	invalid.Coalesce = "sometimes"
+	if err := nw.ResetParams(invalid, srcs, countOnly{}); err == nil {
+		t.Error("invalid Coalesce selector accepted by ResetParams")
+	}
+}

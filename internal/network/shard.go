@@ -62,6 +62,10 @@ func (nw *Network) ensureShards(s int) {
 		})
 		e.shardOf = nw.shardOf
 		e.out = make([][]xmsg, s)
+		e.credOut = make([]creditBatch, s)
+		for j := range e.credOut {
+			e.credOut[j].hdr = -1
+		}
 		for n := lo; n < hi; n++ {
 			nw.shardOf[n] = int16(i)
 		}
@@ -222,11 +226,35 @@ func (e *engine) drainInboxes() {
 				pid := e.allocPkt()
 				e.pkts[pid] = m.pkt
 				e.inFlight++
-				e.evq.push(mkEvent(m.t, m.node, arriveArg(m.pkt.inDir, pid), evArrive))
+				if e.coal {
+					e.scheduleArrive(m.t, m.node, arriveArg(m.pkt.inDir, pid))
+				} else {
+					e.evq.push(mkEvent(m.t, m.node, arriveArg(m.pkt.inDir, pid), evArrive))
+				}
 			} else {
 				e.evq.push(mkEvent(m.t, m.node, m.arg, evCredit))
 			}
 		}
 		src.out[e.id] = box[:0]
+		// Batched credit words (coalesced mode): decode straight into the
+		// accumulator tables. The window protocol's monotonicity contract
+		// applies per decoded credit exactly as it does per xmsg.
+		if cb := &src.credOut[e.id]; len(cb.words) > 0 {
+			e.credRecs = cb.decodeInto(e.credRecs[:0])
+			for _, rec := range e.credRecs {
+				if e.par.Check && e.err == nil && rec.t < e.now {
+					e.err = e.checkInboundCredit(rec.t, rec.node)
+				}
+				// Same elision test as the in-shard path (sendCredit), applied
+				// where this node's outBusy is readable: a credit whose link is
+				// busy through t needs no event, only a lazy token add.
+				if dir, _, _ := creditUnpack(rec.arg); e.outBusy[linkIdx(rec.node, dir)] > rec.t {
+					e.stashCredit(rec.node, rec.t, rec.arg)
+				} else {
+					e.scheduleCredit(rec.node, rec.t, rec.arg)
+				}
+			}
+			cb.reset()
+		}
 	}
 }

@@ -21,8 +21,23 @@ type Stats struct {
 	PacketsInjected   int64
 	WireBytesInjected int64
 
-	// EventsByKind counts processed events (arrive, service, cpu, credit).
+	// EventsByKind counts logical simulator actions (arrive, service, cpu,
+	// credit). With coalescing (Params.Coalesce) each credit/arrival a
+	// marker replays counts individually, so these totals - and Events() -
+	// are identical with coalescing on or off.
 	EventsByKind [NumEventKinds]int64
+
+	// QueuedEvents counts events actually popped from the pending-event
+	// queue. Without coalescing it equals Events(); with coalescing many
+	// logical credits/arrivals share one queued marker or are elided
+	// entirely (coalesce.go), so it is smaller -
+	// QueuedEvents/PacketsInjected is the event-volume metric the bench
+	// regression gate watches. Deterministic for a fixed (params, shards)
+	// configuration and invariant across event-queue structures; in
+	// coalesced mode it can differ by a few counts across shard counts
+	// (boundary credits make their elision decision at the receiving
+	// shard's barrier), while every other statistic stays byte-identical.
+	QueuedEvents int64
 
 	// GrantsByVC counts link grants per virtual channel (dyn0, dyn1,
 	// bubble): a high bubble share indicates dynamic-VC exhaustion.
@@ -151,6 +166,7 @@ func (s *Stats) merge(o *Stats) {
 	for i, v := range o.EventsByKind {
 		s.EventsByKind[i] += v
 	}
+	s.QueuedEvents += o.QueuedEvents
 	for i, v := range o.GrantsByVC {
 		s.GrantsByVC[i] += v
 	}
