@@ -42,6 +42,15 @@ func WithShards(n int) Option { return func(o *Options) { o.Shards = n } }
 // WithCheck enables the runtime invariant checker (~1.4x simulation time).
 func WithCheck(on bool) Option { return func(o *Options) { o.Check = on } }
 
+// WithFaults installs a deterministic link-fault schedule: links go down,
+// come back, die permanently, or degrade at scheduled times, and the routers
+// steer packets around the damage via the adaptive dynamic VCs and the
+// escape bubble channel. Results stay byte-identical at any shard count.
+// Parse a schedule from the -faults spec grammar with ParseFaults, or build
+// a FaultSchedule directly. nil (or an empty schedule) faults nothing and is
+// byte-identical to an unfaulted run.
+func WithFaults(fs *FaultSchedule) Option { return func(o *Options) { o.Faults = fs } }
+
 // WithParams sets the simulated machine parameters (zero value: DefaultParams).
 func WithParams(p Params) Option { return func(o *Options) { o.Par = p } }
 
@@ -101,3 +110,23 @@ func NewCollector(cfg ObserveConfig) *Collector { return observe.New(cfg) }
 // Summary is the stable run-level digest a Collector produces, returned on
 // Result.Observed.
 type Summary = observe.Summary
+
+// FaultSchedule is a deterministic set of timed link faults; see WithFaults.
+type FaultSchedule = network.FaultSchedule
+
+// FaultEvent is one scheduled link transition of a FaultSchedule.
+type FaultEvent = network.FaultEvent
+
+// Fault actions for FaultEvent (down / up / kill / degrade).
+const (
+	FaultDown    = network.FaultDown
+	FaultUp      = network.FaultUp
+	FaultKill    = network.FaultKill
+	FaultDegrade = network.FaultDegrade
+)
+
+// ParseFaults parses the textual fault-schedule grammar shared with the
+// aasim/aabench -faults flag: semicolon-separated "t:node:dir:action" events
+// where dir is one of +x -x +y -y +z -z and action is down, up, kill, or xN
+// (degrade: wire occupancy multiplied by N).
+func ParseFaults(spec string) (*FaultSchedule, error) { return network.ParseFaults(spec) }

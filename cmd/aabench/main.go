@@ -119,6 +119,7 @@ func main() {
 	checkInv := flag.Bool("check", false, "run every simulation with the runtime invariant checker (~1.4x slower)")
 	eventq := flag.String("eventq", "", "event queue: calendar (default) or heap (identical results; perf ablation)")
 	coalesce := flag.String("coalesce", "", "same-tick event coalescing: on (default) or off (identical results; perf ablation)")
+	faults := flag.String("faults", "", `link-fault schedule applied to every run, semicolon-separated "t:node:dir:action" events (see aasim -faults; node ids refer to the scaled partitions)`)
 	observeRuns := flag.Bool("observe", false, "instrument every run and print a per-run observation table after each experiment")
 	traceOut := flag.String("trace-out", "", "write every run's windowed observation trace as one JSONL file (implies -observe)")
 	quiet := flag.Bool("quiet", false, "suppress per-row progress lines on stderr")
@@ -142,6 +143,7 @@ func main() {
 		Check:      *checkInv,
 		EventQueue: *eventq,
 		Coalesce:   *coalesce,
+		Faults:     *faults,
 	}
 	if !*quiet {
 		cfg.Progress = os.Stderr

@@ -14,6 +14,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -86,6 +87,33 @@ func writeMemProfile(path string) {
 	}
 }
 
+// renderResult writes the deterministic result block: everything aasim
+// reports except the wall-clock "simulated in" line, which depends on host
+// speed. The golden-file tests pin this rendering byte for byte, so a
+// deterministic run at any shard count must produce identical output here.
+func renderResult(w io.Writer, res alltoall.Result) {
+	calib := alltoall.DefaultCalib()
+	fmt.Fprintf(w, "strategy        %s\n", res.Strategy)
+	fmt.Fprintf(w, "partition       %v (%d nodes)\n", res.Shape, res.Shape.P())
+	fmt.Fprintf(w, "message         %d bytes per pair\n", res.MsgBytes)
+	fmt.Fprintf(w, "completion      %d units = %.3f ms\n", res.Time, res.Seconds*1e3)
+	fmt.Fprintf(w, "peak (Eq 2)     %.0f units = %.3f ms\n", res.PeakTime, calib.Seconds(res.PeakTime)*1e3)
+	fmt.Fprintf(w, "percent of peak %.1f%%\n", res.PercentPeak)
+	fmt.Fprintf(w, "per-node rate   %.1f MB/s\n", res.PerNodeMBs)
+	fmt.Fprintf(w, "packets         %d (%d wire bytes)\n", res.PacketsInjected, res.WireBytes)
+	fmt.Fprintf(w, "mean latency    %.0f units = %.1f us\n", res.MeanLatencyUnits, calib.Seconds(res.MeanLatencyUnits)*1e6)
+	fmt.Fprintf(w, "link util       mean %.2f max %.2f\n", res.MeanLinkUtil, res.MaxLinkUtil)
+	if res.DeadLinkTicks > 0 || res.Reroutes > 0 {
+		fmt.Fprintf(w, "faults          %d dead-link ticks, %d packets rerouted\n", res.DeadLinkTicks, res.Reroutes)
+	}
+	if res.Strategy == alltoall.TPS {
+		fmt.Fprintf(w, "TPS linear dim  %v\n", res.TPSLinearDim)
+	}
+	if res.Strategy == alltoall.VMesh {
+		fmt.Fprintf(w, "virtual mesh    %dx%d, phases %v units\n", res.VMeshCols, res.VMeshRows, res.PhaseTimes)
+	}
+}
+
 func main() {
 	shapeStr := flag.String("shape", "8x8x8", "partition, e.g. 8x32x16 or 8x8x4M (M = mesh dimension)")
 	strat := flag.String("strategy", "AR", "AR | DR | Throttle | MPI | TPS | VMesh")
@@ -96,6 +124,7 @@ func main() {
 	checkInv := flag.Bool("check", false, "enable the runtime invariant checker (~1.4x slower; fails with a node/time-stamped diagnostic on violation)")
 	eventq := flag.String("eventq", "", "event queue: calendar (default) or heap (identical results; perf ablation)")
 	coalesce := flag.String("coalesce", "", "same-tick event coalescing: on (default) or off (identical results; perf ablation)")
+	faults := flag.String("faults", "", `link-fault schedule, semicolon-separated "t:node:dir:action" events (dir: +x -x +y -y +z -z; action: down, up, kill, or xN degrade), e.g. "0:12:+x:kill;5000:40:-y:down;9000:40:-y:up"`)
 	observe := flag.Bool("observe", false, "instrument the run and print a bottleneck-attribution report")
 	observeWindow := flag.Int64("observe-window", 0, "observation bucket width in time units (0 = default)")
 	traceOut := flag.String("trace-out", "", "write the per-window observation trace as JSONL to this file (implies -observe)")
@@ -105,6 +134,11 @@ func main() {
 	flag.Parse()
 
 	shape, err := parseShape(*shapeStr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aasim: %v\n", err)
+		os.Exit(2)
+	}
+	fsched, err := alltoall.ParseFaults(*faults)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "aasim: %v\n", err)
 		os.Exit(2)
@@ -128,6 +162,9 @@ func main() {
 			DebugDump:  *dump,
 		}),
 	}
+	if len(fsched.Events) > 0 {
+		opts = append(opts, alltoall.WithFaults(fsched))
+	}
 	if obs != nil {
 		opts = append(opts, alltoall.WithObserver(obs))
 	}
@@ -139,29 +176,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "aasim: %v\n", err)
 		os.Exit(1)
 	}
-	calib := alltoall.DefaultCalib()
-	fmt.Printf("strategy        %s\n", res.Strategy)
-	fmt.Printf("partition       %v (%d nodes)\n", res.Shape, res.Shape.P())
-	fmt.Printf("message         %d bytes per pair\n", res.MsgBytes)
-	fmt.Printf("completion      %d units = %.3f ms\n", res.Time, res.Seconds*1e3)
-	fmt.Printf("peak (Eq 2)     %.0f units = %.3f ms\n", res.PeakTime, calib.Seconds(res.PeakTime)*1e3)
-	fmt.Printf("percent of peak %.1f%%\n", res.PercentPeak)
-	fmt.Printf("per-node rate   %.1f MB/s\n", res.PerNodeMBs)
-	fmt.Printf("packets         %d (%d wire bytes)\n", res.PacketsInjected, res.WireBytes)
-	fmt.Printf("mean latency    %.0f units = %.1f us\n", res.MeanLatencyUnits, calib.Seconds(res.MeanLatencyUnits)*1e6)
-	fmt.Printf("link util       mean %.2f max %.2f\n", res.MeanLinkUtil, res.MaxLinkUtil)
+	renderResult(os.Stdout, res)
 	engine := "serial"
 	if *shards > 1 {
 		engine = fmt.Sprintf("%d shards", *shards)
 	}
 	fmt.Printf("simulated in    %s (%s engine, %d events, %.2fM events/s)\n",
 		elapsed.Round(time.Millisecond), engine, res.Events, float64(res.Events)/1e6/elapsed.Seconds())
-	if res.Strategy == alltoall.TPS {
-		fmt.Printf("TPS linear dim  %v\n", res.TPSLinearDim)
-	}
-	if res.Strategy == alltoall.VMesh {
-		fmt.Printf("virtual mesh    %dx%d, phases %v units\n", res.VMeshCols, res.VMeshRows, res.PhaseTimes)
-	}
 	if obs != nil {
 		fmt.Println()
 		if err := (report.Attribution{}).Write(os.Stdout, obs); err != nil {

@@ -1,6 +1,16 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"alltoall"
+	"alltoall/internal/report"
+)
 
 func TestParseShape(t *testing.T) {
 	cases := []struct {
@@ -32,5 +42,127 @@ func TestParseShape(t *testing.T) {
 		if s.Size != c.size || s.Wrap != c.wrap {
 			t.Errorf("parseShape(%q) = %+v, want size %v wrap %v", c.in, s, c.size, c.wrap)
 		}
+	}
+}
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test ./cmd/aasim -update` to create): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("%s rendering drifted from golden file (re-run with -update if intended)\ngot:\n%s\nwant:\n%s",
+			name, got, want)
+	}
+}
+
+// goldenFaults is the fault schedule the faulted fixtures share: a permanent
+// kill plus a transient outage on a 4x4x2 torus.
+const goldenFaults = "0:5:+x:kill;300:12:-y:down;2500:12:-y:up"
+
+// goldenRun executes one deterministic configuration: fixed shape, seed, and
+// message size, invariant checker on. Everything the goldens pin is
+// byte-identical at any shard count; the serial engine is just the simplest
+// fixture (TestGoldenShardIndependent holds the rendering to that claim).
+func goldenRun(t *testing.T, strat alltoall.Strategy, faults string, shards int, obs *alltoall.Collector) alltoall.Result {
+	t.Helper()
+	shape, err := parseShape("4x4x2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := []alltoall.Option{
+		alltoall.WithOptions(alltoall.Options{
+			Shape:    shape,
+			MsgBytes: 240,
+			Seed:     1,
+			Check:    true,
+			Shards:   shards,
+		}),
+	}
+	if faults != "" {
+		fs, err := alltoall.ParseFaults(faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts = append(opts, alltoall.WithFaults(fs))
+	}
+	if obs != nil {
+		opts = append(opts, alltoall.WithObserver(obs))
+	}
+	res, err := alltoall.RunContext(context.Background(), strat, opts...)
+	if err != nil {
+		t.Fatalf("%s run: %v", strat, err)
+	}
+	return res
+}
+
+// TestGoldenResult locks the deterministic result block for a healthy run of
+// a direct strategy and of the two-phase schedule (which adds its extra
+// line), pinning layout, number formatting, and the simulated values.
+func TestGoldenResult(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	for _, strat := range []alltoall.Strategy{alltoall.AR, alltoall.TPS} {
+		t.Run(string(strat), func(t *testing.T) {
+			res := goldenRun(t, strat, "", 1, nil)
+			var b strings.Builder
+			renderResult(&b, res)
+			checkGolden(t, "result_"+strings.ToLower(string(strat))+".golden", []byte(b.String()))
+		})
+	}
+}
+
+// TestGoldenFaultedResult locks the rendering of a faulted run, including the
+// faults line and the attribution report's fault section. The fixture doubles
+// as an end-to-end regression for the -faults path: schedule parsing,
+// graceful degradation, checker-clean completion, and deterministic fault
+// observability.
+func TestGoldenFaultedResult(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	obs := alltoall.NewCollector(alltoall.ObserveConfig{})
+	res := goldenRun(t, alltoall.AR, goldenFaults, 1, obs)
+	if res.DeadLinkTicks == 0 {
+		t.Error("faulted golden run accrued no dead-link ticks")
+	}
+	var b strings.Builder
+	renderResult(&b, res)
+	b.WriteByte('\n')
+	if err := (report.Attribution{}).Write(&b, obs); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "result_ar_faulted.golden", []byte(b.String()))
+}
+
+// TestGoldenShardIndependent asserts the golden rendering really is
+// shard-count independent: the faulted fixture on the 4-way sharded engine
+// must render byte-identically to the serial golden file.
+func TestGoldenShardIndependent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	res := goldenRun(t, alltoall.AR, goldenFaults, 4, nil)
+	var b strings.Builder
+	renderResult(&b, res)
+	serial := goldenRun(t, alltoall.AR, goldenFaults, 1, nil)
+	var a strings.Builder
+	renderResult(&a, serial)
+	if a.String() != b.String() {
+		t.Errorf("sharded faulted run renders differently:\nserial:\n%s\nsharded:\n%s", a.String(), b.String())
 	}
 }

@@ -46,6 +46,12 @@ const (
 	// queues (an internal arbitration index; drift would silently skip
 	// queues during service).
 	OccupancyMask Invariant = "occupancy-mask"
+
+	// LinkLiveness: fault-injection discipline. A router never grants a
+	// packet onto a link that is down, outage bookkeeping stays coherent
+	// (a down link has an open outage interval, an up link does not), and
+	// degraded links carry a sane stretch factor.
+	LinkLiveness Invariant = "link-liveness"
 )
 
 // Violation is one detected invariant breach, stamped with the node and

@@ -75,6 +75,17 @@ type Options struct {
 	// roughly 1.4x simulation time; meant for tests and CI, not sweeps.
 	Check bool
 
+	// Faults installs a deterministic link-fault schedule (equivalent to
+	// setting Par.Faults, but composes with a defaulted Par): links go down,
+	// come back, die permanently, or degrade at scheduled times, and packets
+	// reroute via the adaptive paths and the escape bubble channel. Results
+	// stay byte-identical at any shard count and with either event queue or
+	// coalescing mode. Multi-phase strategies (TPS, VMesh, XYZ) restart the
+	// clock each phase, so the schedule re-applies from t=0 per phase. nil
+	// (or an empty schedule) faults nothing and is byte-identical to a run
+	// without this option.
+	Faults *network.FaultSchedule
+
 	// TPSLinear forces the Two Phase Schedule's linear (phase 1) dimension;
 	// nil selects it with the paper's rule (symmetric planar dims if
 	// possible, else the longest dimension).
@@ -172,6 +183,9 @@ func (o *Options) fill() error {
 	}
 	if o.Coalesce != "" {
 		o.Par.Coalesce = o.Coalesce
+	}
+	if o.Faults != nil {
+		o.Par.Faults = o.Faults
 	}
 	if o.Calib == (model.Calib{}) {
 		o.Calib = model.DefaultCalib()
@@ -298,6 +312,14 @@ type Result struct {
 	MaxCPUUtil       float64
 	LastInjectUnits  int64 // time of the last injection; Time minus this is the drain tail
 
+	// Fault-injection outcomes (zero without Options.Faults). DeadLinkTicks
+	// sums link-downtime over the run (k links dead for d units contribute
+	// k*d); Reroutes counts packets redirected the long way around a ring
+	// after their minimal directions died. Both are engine-invariant: byte-
+	// identical across shard counts, event queues, and coalescing modes.
+	DeadLinkTicks int64
+	Reroutes      int64
+
 	// TPSLinearDim is the phase-1 dimension chosen by the Two Phase
 	// Schedule (valid when Strategy == StratTPS).
 	TPSLinearDim torus.Dim
@@ -351,6 +373,8 @@ func (o *Options) finishResult(r *Result, t int64, st *network.Stats) {
 		r.PayloadBytes += st.FinalPayload
 		r.MeanLatencyUnits = st.MeanLatency()
 		r.LastInjectUnits = st.LastInject
+		r.DeadLinkTicks += st.DeadLinkTicks
+		r.Reroutes += st.Reroutes
 		r.MaxLinkUtil = st.MaxLinkUtilization(t)
 		r.MeanLinkUtil = st.MeanLinkUtilization(t, o.Shape.LinkCount())
 		if t > 0 {
@@ -366,6 +390,9 @@ func (o *Options) finishResult(r *Result, t int64, st *network.Stats) {
 		}
 	}
 	if c, ok := o.Observer.(*observe.Collector); ok && c != nil {
+		if st != nil {
+			c.NoteForcedCreditReturns(st.ForcedCreditReturns)
+		}
 		r.Observed = c.Summary()
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"alltoall/internal/network"
+	"alltoall/internal/observe"
 	"alltoall/internal/torus"
 )
 
@@ -166,6 +167,7 @@ func RunVMesh(opts Options) (Result, error) {
 	pkts1 := st1.PacketsInjected
 	wire1 := st1.WireBytesInjected
 	linkBusy1 := maxI64(st1.LinkBusy)
+	dead1, rr1, fcr1 := st1.DeadLinkTicks, st1.Reroutes, st1.ForcedCreditReturns
 
 	// Phase 2: column exchange. Virtual node (r, c) sends to (r', c) for
 	// r' != r a message with the blocks (from all Pvx row members) for that
@@ -211,7 +213,14 @@ func RunVMesh(opts Options) (Result, error) {
 	r := opts.newResult(StratVMesh)
 	r.VMeshCols, r.VMeshRows = pvx, pvy
 	r.PhaseTimes = []int64{t1, t2}
+	if c, ok := opts.Observer.(*observe.Collector); ok && c != nil {
+		// finishResult gets nil stats (phases fold manually below), so note
+		// both phases' forced credit returns here, before it takes the summary.
+		c.NoteForcedCreditReturns(fcr1 + st2.ForcedCreditReturns)
+	}
 	opts.finishResult(&r, t1+t2, nil)
+	r.DeadLinkTicks = dead1 + st2.DeadLinkTicks
+	r.Reroutes = rr1 + st2.Reroutes
 	r.Events = ev1 + st2.Events()
 	r.QueuedEvents = qe1 + st2.QueuedEvents
 	r.PacketsInjected = pkts1 + st2.PacketsInjected

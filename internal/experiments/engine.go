@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"alltoall/internal/collective"
+	"alltoall/internal/network"
 	"alltoall/internal/observe"
 	"alltoall/internal/parallel"
 )
@@ -95,6 +96,13 @@ func (c Config) rowProgress(format string, args ...any) {
 // success.
 func (c Config) runCached(strat collective.Strategy, opts collective.Options, cache *collective.NetCache) (collective.Result, error) {
 	opts.Cache = cache
+	if c.Faults != "" {
+		fs, err := network.ParseFaults(c.Faults)
+		if err != nil {
+			return collective.Result{}, fmt.Errorf("fault schedule: %w", err)
+		}
+		opts.Faults = fs
+	}
 	var obs *observe.Collector
 	if c.Trace != nil {
 		obs = observe.New(observe.Config{})

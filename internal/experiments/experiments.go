@@ -74,6 +74,12 @@ type Config struct {
 	// Tables are byte-identical either way.
 	Coalesce string
 
+	// Faults, when non-empty, applies the same deterministic link-fault
+	// schedule (the ParseFaults "t:node:dir:action" grammar) to every run
+	// of the experiment. Node ids refer to the scaled partition actually
+	// simulated, so schedules are only portable across runs of one shape.
+	Faults string
+
 	// Trace, when non-nil, instruments every collective run with an
 	// observe.Collector and records its per-run summary (and, if the sink
 	// keeps traces, its windowed JSONL trace) under TracePrefix. Tables
@@ -149,23 +155,24 @@ type Runner func(Config) (*report.Table, error)
 // Order giving presentation order.
 var (
 	Catalog = map[string]Runner{
-		"table1": Table1,
-		"table2": Table2,
-		"table3": Table3,
-		"table4": Table4,
-		"fig1":   Fig1,
-		"fig2":   Fig2,
-		"fig3":   Fig3,
-		"fig4":   Fig4,
-		"fig5":   Fig5,
-		"fig6":   Fig6,
-		"fig7":   Fig7,
-		"ablate": Ablate,
+		"table1":  Table1,
+		"table2":  Table2,
+		"table3":  Table3,
+		"table4":  Table4,
+		"fig1":    Fig1,
+		"fig2":    Fig2,
+		"fig3":    Fig3,
+		"fig4":    Fig4,
+		"fig5":    Fig5,
+		"fig6":    Fig6,
+		"fig7":    Fig7,
+		"ablate":  Ablate,
+		"degrade": Degrade,
 	}
 	Order = []string{
 		"table1", "table2", "table3", "table4",
 		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
-		"ablate",
+		"ablate", "degrade",
 	}
 )
 

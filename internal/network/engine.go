@@ -63,6 +63,17 @@ type engine struct {
 	lazyAdd   int64          // ledger: credits elided (stashed without an event)
 	lazyApply int64          // ledger: elided credits matured and applied
 
+	// Fault-injection state (see fault.go). faulty caches whether the run has
+	// a non-empty fault schedule; off, none of the arrays below is touched
+	// and every fault branch on the hot path is a predicted-false check. The
+	// arrays are shared Network SoA, node-partitioned like the router state.
+	faulty    bool
+	deadMask  []uint8 // [node] output directions currently down
+	killMask  []uint8 // [node] output directions permanently killed
+	stretch   []int32 // [linkIdx] wire-occupancy multiplier (1 = healthy)
+	downSince []int64 // [linkIdx] outage start, -1 while up
+	reviveAt  []int64 // [linkIdx] scheduled Up time of the current outage
+
 	// contTok/entTok summarize dynamic-VC token availability per output
 	// direction for the arbitration pass in flight (see tokMasks); they are
 	// recomputed wherever freeOutputs is and after every grant, the only
@@ -181,6 +192,7 @@ func (e *engine) resetRunState() {
 	e.lazyAdd, e.lazyApply = 0, 0
 	e.sgNode, e.sgT = -1, 0
 	e.rpNode, e.rpT = -1, 0
+	e.faulty = false
 	e.inMin = 0
 	e.err = nil
 	e.vio = nil
@@ -297,6 +309,9 @@ func (e *engine) dispatch(ev event) {
 		dir, vc, cost := creditUnpack(ev.arg())
 		e.tok[tokIdx(node, dir, int(vc))] += cost
 		e.service(node, 1<<dir)
+	case evFault:
+		e.stats.EventsByKind[evFault]++
+		e.applyFault(node, ev.arg())
 	}
 	if e.par.Check && e.vio == nil {
 		// Events mutate only the dispatched node's router, so a node-local
@@ -352,8 +367,10 @@ func (e *engine) sendCredit(up int32, dir int, vc int8, cost int32) {
 		// A credit whose link is still transmitting at t cannot grant there:
 		// its event would be a pure no-op (service early-returns on a busy
 		// masked link), so it needs no event at all - just a lazy token add
-		// before the link's own free-time service pass.
-		if e.outBusy[linkIdx(up, dir)] > t {
+		// before the link's own free-time service pass. A link down through t
+		// is a no-op for the same reason (a dead direction is outside
+		// freeMask for its whole outage; see deadThrough).
+		if e.outBusy[linkIdx(up, dir)] > t || e.deadThrough(up, dir, t) {
 			e.stashCredit(up, t, arg)
 			return
 		}
@@ -365,6 +382,12 @@ func (e *engine) sendCredit(up int32, dir int, vc int8, cost int32) {
 
 func (e *engine) arrive(node, pid int32) {
 	p := &e.pkts[pid]
+	if e.faulty {
+		// Stranding check before the queue-slot header is built: a packet
+		// whose every minimal direction is down at this node flips to the
+		// long way around the ring (fault.go).
+		e.rerouteFresh(node, p)
+	}
 	r := &e.routers[node]
 	qIdx := int(p.inDir)*NumVC + int(p.vc)
 	q := &r.in[p.inDir][p.vc]
@@ -413,6 +436,13 @@ func (e *engine) freeOutputs(node int32) uint8 {
 		if nbrs[d] >= 0 && out[d] <= now {
 			m |= 1 << d
 		}
+	}
+	if e.faulty {
+		// A down link never grants: masking it here starves every arbitration
+		// path at once (tryQueue, tryRoute, and the escape fallback all gate
+		// on freeMask), which is the single chokepoint that makes graceful
+		// degradation a routing property instead of scattered special cases.
+		m &^= e.deadMask[node]
 	}
 	return m
 }
@@ -806,16 +836,30 @@ func (e *engine) tryRoute(node int32, rf *pktRef, q *pktQueue, qi int32, freeMas
 	if e.par.Check && vc == VCBubble {
 		e.checkBubbleGrant(node, o, escJoining, e.tok[(lnk+o)*NumVC+vc])
 	}
-	busyUntil := e.now + int64(size)
+	// Wire occupancy: size bytes at one unit per byte, stretched on a
+	// degraded link (FaultDegrade). Stretch only ever lengthens occupancy,
+	// so every cross-node delay keeps its healthy minimum and the sharded
+	// window stays safe. A grant onto a down link is impossible by
+	// construction (freeOutputs masks it); the checker re-verifies.
+	wire := int64(size)
+	if e.faulty {
+		if s := e.stretch[lnk+o]; s > 1 {
+			wire *= int64(s)
+		}
+		if e.par.Check && e.deadMask[node]&(1<<o) != 0 {
+			e.checkLiveGrant(node, o)
+		}
+	}
+	busyUntil := e.now + wire
 	prevBusy := e.outBusy[lnk+o]
 	e.outBusy[lnk+o] = busyUntil
-	e.stats.LinkBusy[lnk+o] += int64(size)
+	e.stats.LinkBusy[lnk+o] += wire
 	e.stats.GrantsByVC[vc]++
 	if e.obs != nil {
 		e.obs.OnGrant(e.now, node, o, int8(vc), size)
 	}
 	if w := e.par.UtilSampleWindow; w > 0 {
-		e.stats.noteWindowBusy(e.now, w, size)
+		e.stats.noteWindowBusy(e.now, w, int32(wire))
 	}
 	pid := q.idAt(qi)
 	p := &e.pkts[pid] // grant commit: the packet now changes state
@@ -836,9 +880,12 @@ func (e *engine) tryRoute(node int32, rf *pktRef, q *pktQueue, qi int32, freeMas
 	// soon as its 32-byte header chunk lands; only at its final hop (where
 	// it is consumed) must the tail arrive first. The outgoing link can
 	// start re-serializing immediately because all links run at the same
-	// rate, so bytes arrive exactly as they are needed.
-	eta := e.now + int64(p.size) + e.par.RouterDelay
-	if p.want != 0 && !e.par.StoreForward {
+	// rate, so bytes arrive exactly as they are needed. That equal-rate
+	// argument fails on a degraded link (a full-speed downstream hop would
+	// outrun the trickling tail), so stretched transfers forward
+	// store-and-forward: the tail's arrival defines eligibility.
+	eta := e.now + wire + e.par.RouterDelay
+	if p.want != 0 && !e.par.StoreForward && wire == int64(size) {
 		eta = e.now + PacketGranule + e.par.RouterDelay
 	}
 	// The link-free wakeup is a hard deadline: an earlier coalesced pass
@@ -1041,6 +1088,9 @@ func (e *engine) finishCPUOp(node int32, r *router) {
 		p.want = wantMask(p.hops, p.det)
 		if spec.Dst == node {
 			panic("network: self-addressed packet")
+		}
+		if e.faulty {
+			e.rerouteFresh(node, p) // route starts on a dead link: flip now
 		}
 		e.inFlight++
 		e.stats.PacketsInjected++

@@ -3,7 +3,7 @@ package network
 // event is a scheduled simulator action, packed to 16 bytes for heap
 // throughput: the heap moves events by value, so smaller structs mean fewer
 // copied bytes per sift level. key packs (node, kind, arg) into one word
-// (node in the high 30 bits, kind in the next 2, arg in the low 32), which
+// (node in the high 29 bits, kind in the next 3, arg in the low 32), which
 // also makes the tie-break comparison a single machine compare.
 type event struct {
 	t   int64
@@ -15,14 +15,15 @@ const (
 	evService        // run router arbitration at node
 	evCPUKick        // re-poll the node's CPU (throttle wait expiry)
 	evCredit         // apply a token return (arg packs dir, vc, cost) at node
+	evFault          // apply fault-schedule transition arg (index) at node
 )
 
 func mkEvent(t int64, node, a int32, kind uint8) event {
-	return event{t: t, key: uint64(uint32(node))<<34 | uint64(kind)<<32 | uint64(uint32(a))}
+	return event{t: t, key: uint64(uint32(node))<<35 | uint64(kind)<<32 | uint64(uint32(a))}
 }
 
-func (e event) node() int32 { return int32(e.key >> 34) }
-func (e event) kind() uint8 { return uint8(e.key>>32) & 3 }
+func (e event) node() int32 { return int32(e.key >> 35) }
+func (e event) kind() uint8 { return uint8(e.key>>32) & 7 }
 func (e event) arg() int32  { return int32(uint32(e.key)) }
 
 // Arrival args put the input direction in the high bits and the packet-pool

@@ -133,8 +133,53 @@ func eventKindName(kind uint8) string {
 		return "cpu-kick"
 	case evCredit:
 		return "credit"
+	case evFault:
+		return "fault"
 	}
 	return "event"
+}
+
+// checkLiveGrant records a grant onto a down link: freeOutputs masks dead
+// directions out of every arbitration path, so reaching here means the
+// masking chokepoint was bypassed. Called from tryRoute's commit when
+// Params.Check is set on a faulted run.
+func (e *engine) checkLiveGrant(node int32, o int) {
+	if e.vio == nil {
+		e.vio = check.Violatef(check.LinkLiveness, node, e.now,
+			"grant onto down link %s (dead mask %#x)", DirName(o), e.deadMask[node])
+	}
+}
+
+// checkFaultQuiescence audits the fault state after a completed run: outage
+// bookkeeping must be coherent (every down direction has an open outage
+// interval, every up one does not - credits crossed down/up transitions
+// without losing the books), and no degraded link carries a nonsensical
+// stretch. Forced-return ledger entries were already folded into the
+// lazyAdd/lazyApply balance by forceFlushLazy.
+func (nw *Network) checkFaultQuiescence(now int64) error {
+	if len(nw.fsched) == 0 {
+		return nil
+	}
+	for n := 0; n < nw.P; n++ {
+		node := int32(n)
+		for d := 0; d < numDirs; d++ {
+			lnk := linkIdx(node, d)
+			down := nw.deadMask[n]&(1<<d) != 0
+			if open := nw.downSince[lnk] >= 0; open != down {
+				return check.Violatef(check.LinkLiveness, node, now,
+					"link %s: down=%v but outage-open=%v (DeadLinkTicks books broken)", DirName(d), down, open)
+			}
+			if nw.killMask[n]&(1<<d) != 0 && !down {
+				return check.Violatef(check.LinkLiveness, node, now,
+					"link %s: killed but not down (revived past a kill)", DirName(d))
+			}
+			if s := nw.stretch[lnk]; s < 1 || s > MaxDegradeFactor {
+				return check.Violatef(check.LinkLiveness, node, now,
+					"link %s: stretch factor %d out of range", DirName(d), s)
+			}
+		}
+	}
+	return nil
 }
 
 // checkQuiescence audits the whole machine after a completed run: every
@@ -245,5 +290,5 @@ func (nw *Network) checkQuiescence() error {
 		return check.Violatef(check.Quiescence, -1, now,
 			"%d packets injected but %d delivered (exactly-once broken)", st.PacketsInjected, st.TotalDelivered)
 	}
-	return nil
+	return nw.checkFaultQuiescence(now)
 }

@@ -223,6 +223,19 @@ type Network struct {
 	// whose wakeup was provably useless; see coalesce.go). Node-partitioned.
 	lazyCred [][]lazyCredit
 
+	// Fault-injection state (see fault.go): the canonical (sorted, validated)
+	// schedule derived from Par.Faults, per-event revival times, and the
+	// node-partitioned link SoA the engines mutate as transitions apply. The
+	// arrays are nil until a schedule is first installed; a healthy network
+	// never allocates or touches them.
+	fsched    []FaultEvent
+	frevive   []int64
+	deadMask  []uint8
+	killMask  []uint8
+	stretch   []int32
+	downSince []int64
+	reviveAt  []int64
+
 	sources   []Source
 	handler   Handler
 	activeSrc int // nodes with a non-nil source (static per Reset)
@@ -334,6 +347,11 @@ func New(shape torus.Shape, par Params, sources []Source, handler Handler) (*Net
 			r.srcDone = true
 		}
 	}
+	// Fault validation needs the resolved neighbour table (a schedule may
+	// only name links that exist), so it runs after pass 1.
+	if err := nw.deriveFaults(); err != nil {
+		return nil, err
+	}
 	nw.eng.init(nw, 0, 0, int32(p), &nw.stats)
 	return nw, nil
 }
@@ -363,6 +381,7 @@ func (nw *Network) Reset(sources []Source, handler Handler) error {
 	}
 	nw.sharded = false
 	nw.stats.reset()
+	nw.resetFaultState()
 	for n := 0; n < nw.P; n++ {
 		r := &nw.routers[n]
 		for d := 0; d < numDirs; d++ {
@@ -430,6 +449,9 @@ func (nw *Network) ResetParams(par Params, sources []Source, handler Handler) er
 			nw.Par.VCBytes, nw.Par.InjFIFOs, nw.Par.InjFIFOBytes, nw.Par.RecvFIFOBytes)
 	}
 	nw.Par = par
+	if err := nw.deriveFaults(); err != nil {
+		return err
+	}
 	nw.eng.setParams(par)
 	for i := range nw.shards {
 		nw.shards[i].setParams(par)
@@ -532,6 +554,7 @@ func (nw *Network) runSerial(maxTime int64) (int64, error) {
 	}
 	e.cancel = nw.cancel
 	e.activeSrc = nw.activeSrc
+	e.armFaults(maxTime)
 	for n := e.lo; n < e.hi; n++ {
 		e.maybeRunCPU(n)
 	}
@@ -542,6 +565,8 @@ func (nw *Network) runSerial(maxTime int64) (int64, error) {
 		return 0, fmt.Errorf("network: stalled at t=%d with %d packets in flight, %d active sources (deadlock?)",
 			e.now, e.inFlight, e.activeSrc)
 	}
+	e.forceFlushLazy()
+	nw.closeFaultStats()
 	if nw.Par.Check {
 		if err := nw.checkQuiescence(); err != nil {
 			return 0, err

@@ -67,6 +67,19 @@ type Sink interface {
 	OnCPU(now int64, node int32, cost int64)
 }
 
+// FaultSink is an optional extension of Sink. A sink that also implements it
+// receives every effective fault transition (a Down/Kill that actually took a
+// live link out, an Up that actually restored one, every Degrade) at the
+// simulation time it applied. Transitions arrive on the owning shard's
+// goroutine, like every other Sink callback; scheduled transitions that
+// change nothing (a second Down on an already-dead link, an Up on a killed
+// one) are not reported. Sinks that do not implement FaultSink simply never
+// hear about faults - the extension keeps existing Sink implementations
+// source-compatible.
+type FaultSink interface {
+	OnFault(now int64, node int32, dir int, action FaultAction, factor int32)
+}
+
 // SetObserver installs (or, with nil, removes) the observer for subsequent
 // runs. Must not be called while a run is in progress. The observer is
 // preserved across Reset: recycled sweep runs keep reporting to it.

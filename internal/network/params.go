@@ -117,6 +117,17 @@ type Params struct {
 	// argument). Coalescing is inert when CreditDelay < 1.
 	Coalesce string
 
+	// Faults is the deterministic link-fault schedule for every run on this
+	// network: timed down/up transitions, permanent kills, and bandwidth
+	// degradation (see FaultSchedule and ParseFaults for the -faults spec
+	// grammar). nil - and an empty schedule - leaves the machine healthy and
+	// the hot path untouched (runs are byte-identical to a network built
+	// without the field). A pointer so Params stays comparable with ==; the
+	// schedule must not be mutated while installed. Shape-dependent
+	// validation (node range, link existence, no revival after a kill)
+	// happens in New/ResetParams.
+	Faults *FaultSchedule
+
 	// Check enables the runtime invariant checker (internal/check): after
 	// every event the affected router is validated against the model's
 	// conservation laws (credit conservation, bubble slot bounds, FIFO

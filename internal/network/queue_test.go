@@ -121,7 +121,8 @@ func TestEventPacking(t *testing.T) {
 	}{
 		{0, 0, evArrive},
 		{65535, 1 << 20, evService},
-		{(1 << 30) - 1, (1 << 31) - 1, evCPUKick},
+		{(1 << 29) - 1, (1 << 31) - 1, evCPUKick},
+		{12345, 99, evFault},
 		{7, 0x7f, evService},
 	} {
 		e := mkEvent(42, tc.node, tc.a, tc.kind)

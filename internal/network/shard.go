@@ -116,10 +116,16 @@ func (nw *Network) runSharded(maxTime int64, shards int) (int64, error) {
 			nw.Now(), inFlight, activeSrc)
 	}
 	for i := range nw.shards {
+		// Workers have quiesced; the force-flush runs serially per shard so
+		// the forced-return counts land in that shard's own statistics.
+		nw.shards[i].forceFlushLazy()
+	}
+	for i := range nw.shards {
 		s := nw.shards[i].stats
 		s.closeWindows()
 		nw.stats.merge(s)
 	}
+	nw.closeFaultStats()
 	if nw.Par.Check {
 		// After the merge so the exactly-once ledger sees machine totals.
 		if err := nw.checkQuiescence(); err != nil {
@@ -150,6 +156,7 @@ func (e *engine) run(maxTime, window int64, wg *sync.WaitGroup) {
 		defer wg.Done()
 	}
 	nw := e.nw
+	e.armFaults(maxTime)
 	for n := e.lo; n < e.hi; n++ {
 		e.maybeRunCPU(n)
 	}
@@ -247,8 +254,10 @@ func (e *engine) drainInboxes() {
 				}
 				// Same elision test as the in-shard path (sendCredit), applied
 				// where this node's outBusy is readable: a credit whose link is
-				// busy through t needs no event, only a lazy token add.
-				if dir, _, _ := creditUnpack(rec.arg); e.outBusy[linkIdx(rec.node, dir)] > rec.t {
+				// busy - or down - through t needs no event, only a lazy token
+				// add.
+				if dir, _, _ := creditUnpack(rec.arg); e.outBusy[linkIdx(rec.node, dir)] > rec.t ||
+					e.deadThrough(rec.node, dir, rec.t) {
 					e.stashCredit(rec.node, rec.t, rec.arg)
 				} else {
 					e.scheduleCredit(rec.node, rec.t, rec.arg)

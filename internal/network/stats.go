@@ -6,7 +6,7 @@ import "math/bits"
 const LatencyBuckets = 40
 
 // NumEventKinds is the number of distinct simulator event kinds.
-const NumEventKinds = 4
+const NumEventKinds = 5
 
 // Stats aggregates simulation measurements. In a sharded run each shard
 // accumulates its own Stats over the disjoint node range it owns; the
@@ -22,8 +22,8 @@ type Stats struct {
 	WireBytesInjected int64
 
 	// EventsByKind counts logical simulator actions (arrive, service, cpu,
-	// credit). With coalescing (Params.Coalesce) each credit/arrival a
-	// marker replays counts individually, so these totals - and Events() -
+	// credit, fault). With coalescing (Params.Coalesce) each credit/arrival
+	// a marker replays counts individually, so these totals - and Events() -
 	// are identical with coalescing on or off.
 	EventsByKind [NumEventKinds]int64
 
@@ -71,6 +71,25 @@ type Stats struct {
 
 	// All deliveries including intermediate (forwarded) hops.
 	TotalDelivered int64
+
+	// DeadLinkTicks is the summed outage time of faulted links (one link down
+	// for T units contributes T): each Up transition accrues its outage, and
+	// links still down at finish accrue [down, FinishTime) (closeFaultStats).
+	// Engine-invariant: identical at any shard count and with coalescing or
+	// either event queue on or off.
+	DeadLinkTicks int64
+
+	// Reroutes counts packets redirected around a dead link (flipped to the
+	// long way around a ring), at fault application, arrival, or injection.
+	// Engine-invariant, like DeadLinkTicks.
+	Reroutes int64
+
+	// ForcedCreditReturns counts credits force-returned from the lazy ledger
+	// at end of run because their link was killed (no free-time dispatch ever
+	// flushes them). Like QueuedEvents this is a coalesced-mode bookkeeping
+	// count (the uncoalesced engine pops those credits as ordinary no-op
+	// events instead); it is zero with Coalesce off.
+	ForcedCreditReturns int64
 
 	// LatencyHist[i] counts final packets with injection-to-delivery
 	// latency in [2^i, 2^(i+1)).
@@ -188,6 +207,9 @@ func (s *Stats) merge(o *Stats) {
 		s.FinishTime = o.FinishTime
 	}
 	s.TotalDelivered += o.TotalDelivered
+	s.DeadLinkTicks += o.DeadLinkTicks
+	s.Reroutes += o.Reroutes
+	s.ForcedCreditReturns += o.ForcedCreditReturns
 	for i, v := range o.LatencyHist {
 		s.LatencyHist[i] += v
 	}

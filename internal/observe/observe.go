@@ -108,6 +108,18 @@ type Collector struct {
 	// per-shard sinks in shard order at EndRun.
 	win windows
 
+	// Fault aggregates (see fault.go): transition count, degrade count, peak
+	// concurrently-dead links, total and per-window dead-link ticks, and the
+	// forced-credit-return count noted by the collective layer.
+	faultEvents   int64
+	degradeEvents int64
+	peakDead      int
+	deadLinkTicks int64
+	deadWin       []int64
+	forcedCred    int64
+	ftrans        []faultPoint    // per-run fold scratch
+	openDown      map[int32]int64 // per-run open outage intervals
+
 	sinks []*sink
 }
 
@@ -124,6 +136,10 @@ type windows struct {
 	holMat     [torus.NumDims][torus.NumDims]int64 // [occupied-VC dim][wanted dim] mature blocks
 	holBlocked int64                               // cross-dimension mature blocks with victims queued behind
 	injBlocked int64                               // blocked passes of injection-FIFO head packets
+
+	// faults collects this run's link transitions (fault.go); excluded from
+	// merge - EndRun folds them into intervals via foldFaults instead.
+	faults []faultPoint
 }
 
 // New returns a Collector with the given configuration (zero value for
@@ -169,6 +185,12 @@ func (c *Collector) Reset() {
 	for _, s := range c.sinks {
 		s.win.reset()
 	}
+	c.faultEvents = 0
+	c.degradeEvents = 0
+	c.peakDead = 0
+	c.deadLinkTicks = 0
+	c.deadWin = c.deadWin[:0]
+	c.forcedCred = 0
 }
 
 func (w *windows) reset() {
@@ -183,6 +205,7 @@ func (w *windows) reset() {
 	w.holMat = [torus.NumDims][torus.NumDims]int64{}
 	w.holBlocked = 0
 	w.injBlocked = 0
+	w.faults = w.faults[:0]
 }
 
 // BeginRun implements network.Observer. A collector bound to a different
@@ -223,6 +246,7 @@ func (c *Collector) Sink(shard, shards int, lo, hi int32) network.Sink {
 func (c *Collector) EndRun(finish int64) {
 	c.runs++
 	c.finish += finish
+	c.foldFaults(finish)
 	for _, s := range c.sinks {
 		c.win.merge(&s.win)
 		s.win.reset()

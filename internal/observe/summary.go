@@ -52,6 +52,23 @@ type Summary struct {
 	MaxRecvFIFOBytes int32   `json:"max_recv_fifo_bytes"`
 	MeanCPUUtil      float64 `json:"mean_cpu_util"`
 	MaxCPUUtil       float64 `json:"max_cpu_util"`
+
+	// Fault injection (all zero on healthy runs). FaultEvents counts
+	// effective link transitions, DegradeEvents the bandwidth-degrade subset,
+	// DeadLinks the peak number of simultaneously dead links, DeadLinkTicks
+	// the summed link-downtime (equal to network.Stats.DeadLinkTicks), and
+	// DegradedCompletion the fraction of the machine's total link-time lost
+	// to outages: DeadLinkTicks / (Finish * links). ForcedCreditReturns is
+	// the engine's end-of-run forced ledger flush count, noted by the
+	// collective layer (NoteForcedCreditReturns); unlike every other field it
+	// depends on Params.Coalesce, because it counts bookkeeping, not machine
+	// behavior.
+	FaultEvents         int64   `json:"fault_events"`
+	DegradeEvents       int64   `json:"degrade_events"`
+	DeadLinks           int     `json:"dead_links"`
+	DeadLinkTicks       int64   `json:"dead_link_ticks"`
+	DegradedCompletion  float64 `json:"degraded_completion"`
+	ForcedCreditReturns int64   `json:"forced_credit_returns"`
 }
 
 // LinkUtil is one link's aggregate in a utilization ranking.
@@ -93,6 +110,15 @@ func (c *Collector) Summary() *Summary {
 		HoLBlocked:     c.win.holBlocked,
 		HoLMatrix:      c.win.holMat,
 		InjFIFOBlocked: c.win.injBlocked,
+
+		FaultEvents:         c.faultEvents,
+		DegradeEvents:       c.degradeEvents,
+		DeadLinks:           c.peakDead,
+		DeadLinkTicks:       c.deadLinkTicks,
+		ForcedCreditReturns: c.forcedCred,
+	}
+	if links := c.shape.LinkCount(); links > 0 && c.finish > 0 {
+		s.DegradedCompletion = float64(c.deadLinkTicks) / (float64(c.finish) * float64(links))
 	}
 	var maxLinkBytes int64
 	maxLinkDim := -1
@@ -201,6 +227,9 @@ func (c *Collector) Windows() int {
 	}
 	if len(c.win.cpu) > n {
 		n = len(c.win.cpu)
+	}
+	if len(c.deadWin) > n {
+		n = len(c.deadWin)
 	}
 	return n
 }

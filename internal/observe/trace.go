@@ -32,6 +32,9 @@ type TraceWindow struct {
 	BytesVC  [3]int64               `json:"bytes_vc"`
 	HoL      int64                  `json:"hol"`
 	CPUBusy  int64                  `json:"cpu_busy"`
+	// DeadTicks is the summed link-downtime inside the window (k links dead
+	// for the whole window contribute k*Window); zero on healthy runs.
+	DeadTicks int64 `json:"dead_ticks"`
 }
 
 // WriteTrace emits the collector's windowed series as JSONL: one header
@@ -56,11 +59,12 @@ func (c *Collector) WriteTrace(w io.Writer) error {
 	}
 	for i := 0; i < n; i++ {
 		rec := TraceWindow{
-			Record:  "window",
-			Index:   i,
-			T:       int64(i) * c.cfg.Window,
-			HoL:     winAt(c.win.hol, i),
-			CPUBusy: winAt(c.win.cpu, i),
+			Record:    "window",
+			Index:     i,
+			T:         int64(i) * c.cfg.Window,
+			HoL:       winAt(c.win.hol, i),
+			CPUBusy:   winAt(c.win.cpu, i),
+			DeadTicks: winAt(c.deadWin, i),
 		}
 		for d := 0; d < torus.NumDims; d++ {
 			rec.BytesDim[d] = winAt(c.win.byDim[d], i)

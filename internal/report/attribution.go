@@ -95,6 +95,13 @@ func (a Attribution) Write(w io.Writer, c *observe.Collector) error {
 	fmt.Fprintf(&b, "injection-FIFO blocked passes: %d; FIFO high-watermarks inj=%dB recv=%dB; CPU mean/max %.1f%%/%.1f%%\n\n",
 		s.InjFIFOBlocked, s.MaxInjFIFOBytes, s.MaxRecvFIFOBytes, 100*s.MeanCPUUtil, 100*s.MaxCPUUtil)
 
+	if s.FaultEvents > 0 {
+		fmt.Fprintf(&b, "fault injection: %d transition(s) (%d degrade), peak %d link(s) dead\n",
+			s.FaultEvents, s.DegradeEvents, s.DeadLinks)
+		fmt.Fprintf(&b, "  dead-link ticks: %d (%.2f%% of link-time lost); forced credit returns: %d\n\n",
+			s.DeadLinkTicks, 100*s.DegradedCompletion, s.ForcedCreditReturns)
+	}
+
 	writeHeatmap(&b, c, heat)
 
 	_, err := io.WriteString(w, b.String())
