@@ -25,11 +25,19 @@
 //
 // A minimal session:
 //
-//	res, err := alltoall.Run(alltoall.TPS, alltoall.Options{
-//		Shape:    alltoall.NewTorus(8, 32, 16),
-//		MsgBytes: 1024,
-//	})
+//	res, err := alltoall.RunContext(ctx, alltoall.TPS,
+//		alltoall.WithShape(alltoall.NewTorus(8, 32, 16)),
+//		alltoall.WithMsgBytes(1024))
 //	fmt.Printf("%.1f%% of peak\n", res.PercentPeak)
+//
+// The same configuration as a canonical, cacheable job value:
+//
+//	req, _ := alltoall.NewRequest(alltoall.TPS,
+//		alltoall.WithShape(alltoall.NewTorus(8, 32, 16)),
+//		alltoall.WithMsgBytes(1024))
+//	res, err := alltoall.RunRequest(ctx, req) // req.Key() identifies the result
+//
+// Long-lived serving of such jobs over HTTP is cmd/aaserve.
 package alltoall
 
 import (
@@ -100,9 +108,11 @@ func DefaultCalib() Calib { return model.DefaultCalib() }
 
 // Run executes one all-to-all with the given strategy. It is the legacy
 // struct-options entry point, kept as a thin wrapper over the same internal
-// configuration; prefer RunContext, which adds cancellation, functional
-// options, and observability (see the Option docs for the precedence
-// rules).
+// configuration.
+//
+// Deprecated: prefer RunContext (cancellation, functional options,
+// observability; see the Option docs for precedence rules) or RunRequest
+// (the canonical, cacheable job form shared with the aaserve service).
 func Run(strat Strategy, opts Options) (Result, error) {
 	return collective.Run(strat, opts)
 }

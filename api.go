@@ -22,8 +22,12 @@ import (
 type Option func(*collective.Options)
 
 // WithOptions seeds the whole legacy Options struct; later options
-// override individual fields. It is the bridge for callers migrating from
-// Run to RunContext.
+// override individual fields.
+//
+// Deprecated: WithOptions exists to bridge callers migrating from Run to
+// RunContext. New code should compose individual options, or build a
+// canonical Request (NewRequest / RunRequest) when the configuration is a
+// job identity.
 func WithOptions(o Options) Option { return func(dst *Options) { *dst = o } }
 
 // WithShape sets the torus/mesh partition (required).
@@ -69,6 +73,11 @@ func WithMaxTime(t int64) Option { return func(o *Options) { o.MaxTime = t } }
 // observer (the default) costs one predicted branch per event.
 func WithObserver(obs Observer) Option { return func(o *Options) { o.Observer = obs } }
 
+// WithDebugDump writes a network state dump to path if the run stalls
+// against its MaxTime bound. Run machinery only: it never changes a Result,
+// so it is excluded from Request identity (attach it as a RunRequest extra).
+func WithDebugDump(path string) Option { return func(o *Options) { o.DebugDump = path } }
+
 // RunContext executes one all-to-all with the given strategy under a
 // context. Cancellation aborts the simulation promptly (the serial engine
 // polls between events; the sharded engine checks at its window barriers)
@@ -86,9 +95,6 @@ func RunContext(ctx context.Context, strat Strategy, opts ...Option) (Result, er
 	}
 	return collective.RunContext(ctx, strat, o)
 }
-
-// ErrCanceled is the sentinel wrapped by errors a canceled run returns.
-var ErrCanceled = network.ErrCanceled
 
 // Observer taps the simulator's hot path for instrumentation; see
 // WithObserver. Collector is the standard implementation.

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"flag"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"alltoall/internal/serve"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// TestGoldenServedJob pins the full POST /v1/jobs response for the smoke
+// job byte for byte: envelope layout, canonical request echo, key encoding,
+// and the served result JSON. The CI smoke job replays the same fixture
+// against a real aaserve process with curl and diffs against the same
+// golden, so this test and the service must stay in lockstep.
+func TestGoldenServedJob(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	body, err := os.ReadFile(filepath.Join("testdata", "serve_job.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := serve.New(serve.Config{Workers: 1})
+	defer s.Close()
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, httptest.NewRequest("POST", "/v1/jobs", strings.NewReader(string(body))))
+	if w.Code != http.StatusOK {
+		t.Fatalf("POST = %d: %s", w.Code, w.Body.String())
+	}
+	if hdr := w.Header().Get("X-AA-Cache"); hdr != "miss" {
+		t.Errorf("fresh server served X-AA-Cache %q, want miss", hdr)
+	}
+
+	got := w.Body.Bytes()
+	golden := filepath.Join("testdata", "serve_job.golden")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test ./cmd/aaserve -update` to create): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("served response drifted from golden file (re-run with -update if intended)\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

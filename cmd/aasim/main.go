@@ -18,35 +18,11 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
-	"strconv"
-	"strings"
 	"time"
 
 	"alltoall"
 	"alltoall/internal/report"
 )
-
-// parseShape accepts "8", "8x8", "8x32x16", with an optional M suffix per
-// dimension marking it as a mesh (no wrap links).
-func parseShape(s string) (alltoall.Shape, error) {
-	parts := strings.Split(strings.ToLower(s), "x")
-	if len(parts) < 1 || len(parts) > 3 {
-		return alltoall.Shape{}, fmt.Errorf("shape %q: want 1-3 dimensions", s)
-	}
-	size := [3]int{1, 1, 1}
-	wrap := [3]bool{}
-	for i, p := range parts {
-		mesh := strings.HasSuffix(p, "m")
-		p = strings.TrimSuffix(p, "m")
-		v, err := strconv.Atoi(p)
-		if err != nil || v < 1 {
-			return alltoall.Shape{}, fmt.Errorf("shape %q: bad dimension %q", s, p)
-		}
-		size[i] = v
-		wrap[i] = !mesh && v > 2
-	}
-	return alltoall.NewMesh(size[0], size[1], size[2], wrap[0], wrap[1], wrap[2]), nil
-}
 
 // startCPUProfile begins CPU profiling to path ("" = disabled) and returns
 // the stop function.
@@ -133,42 +109,49 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
-	shape, err := parseShape(*shapeStr)
+	shape, err := alltoall.ParseShape(*shapeStr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "aasim: %v\n", err)
 		os.Exit(2)
 	}
-	fsched, err := alltoall.ParseFaults(*faults)
+	strategy, err := alltoall.ParseStrategy(*strat)
 	if err != nil {
+		fmt.Fprintf(os.Stderr, "aasim: %v\n", err)
+		os.Exit(2)
+	}
+	// aasim submits the same canonical job value that aaserve accepts over
+	// HTTP; run machinery (the collector, a debug dump path) rides along as
+	// RunRequest extras because it never changes the Result.
+	req := alltoall.Request{
+		Strategy:      strategy,
+		Shape:         shape,
+		MsgBytes:      *msg,
+		Seed:          *seed,
+		Burst:         *burst,
+		Shards:        *shards,
+		Check:         *checkInv,
+		EventQueue:    *eventq,
+		Coalesce:      *coalesce,
+		Faults:        *faults,
+		Observe:       *observe || *traceOut != "",
+		ObserveWindow: *observeWindow,
+	}
+	if err := req.Validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "aasim: %v\n", err)
 		os.Exit(2)
 	}
 	var obs *alltoall.Collector
-	if *observe || *traceOut != "" {
+	var extra []alltoall.Option
+	if req.Observe {
 		obs = alltoall.NewCollector(alltoall.ObserveConfig{Window: *observeWindow})
+		extra = append(extra, alltoall.WithObserver(obs))
+	}
+	if *dump != "" {
+		extra = append(extra, alltoall.WithDebugDump(*dump))
 	}
 	stopCPU := startCPUProfile(*cpuprofile)
 	start := time.Now()
-	opts := []alltoall.Option{
-		alltoall.WithOptions(alltoall.Options{
-			Shape:      shape,
-			MsgBytes:   *msg,
-			Seed:       *seed,
-			Burst:      *burst,
-			Shards:     *shards,
-			Check:      *checkInv,
-			EventQueue: *eventq,
-			Coalesce:   *coalesce,
-			DebugDump:  *dump,
-		}),
-	}
-	if len(fsched.Events) > 0 {
-		opts = append(opts, alltoall.WithFaults(fsched))
-	}
-	if obs != nil {
-		opts = append(opts, alltoall.WithObserver(obs))
-	}
-	res, err := alltoall.RunContext(context.Background(), alltoall.Strategy(*strat), opts...)
+	res, err := alltoall.RunRequest(context.Background(), req, extra...)
 	elapsed := time.Since(start)
 	stopCPU()
 	writeMemProfile(*memprofile)

@@ -31,16 +31,16 @@ func TestParseShape(t *testing.T) {
 		{"0x8", [3]int{}, [3]bool{}, true},
 	}
 	for _, c := range cases {
-		s, err := parseShape(c.in)
+		s, err := alltoall.ParseShape(c.in)
 		if (err != nil) != c.wantErr {
-			t.Errorf("parseShape(%q) err = %v, wantErr %v", c.in, err, c.wantErr)
+			t.Errorf("ParseShape(%q) err = %v, wantErr %v", c.in, err, c.wantErr)
 			continue
 		}
 		if err != nil {
 			continue
 		}
 		if s.Size != c.size || s.Wrap != c.wrap {
-			t.Errorf("parseShape(%q) = %+v, want size %v wrap %v", c.in, s, c.size, c.wrap)
+			t.Errorf("ParseShape(%q) = %+v, want size %v wrap %v", c.in, s, c.size, c.wrap)
 		}
 	}
 }
@@ -79,7 +79,7 @@ const goldenFaults = "0:5:+x:kill;300:12:-y:down;2500:12:-y:up"
 // fixture (TestGoldenShardIndependent holds the rendering to that claim).
 func goldenRun(t *testing.T, strat alltoall.Strategy, faults string, shards int, obs *alltoall.Collector) alltoall.Result {
 	t.Helper()
-	shape, err := parseShape("4x4x2")
+	shape, err := alltoall.ParseShape("4x4x2")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -26,11 +27,11 @@ func main() {
 		shape, shape.P(), *msg)
 
 	for _, strat := range []alltoall.Strategy{alltoall.AR, alltoall.DR, alltoall.TPS} {
-		res, err := alltoall.Run(strat, alltoall.Options{
-			Shape:    shape,
-			MsgBytes: *msg,
-			Seed:     1,
-		})
+		res, err := alltoall.RunContext(context.Background(), strat,
+			alltoall.WithShape(shape),
+			alltoall.WithMsgBytes(*msg),
+			alltoall.WithSeed(1),
+		)
 		if err != nil {
 			log.Fatalf("%s: %v", strat, err)
 		}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,11 +24,11 @@ func main() {
 		alltoall.HotSpot{Root: 0},
 	}
 	for _, p := range patterns {
-		res, err := alltoall.RunPattern(p, alltoall.PatternOptions{
-			Shape:    shape,
-			MsgBytes: 512,
-			Seed:     1,
-		})
+		res, err := alltoall.RunPatternContext(context.Background(), p,
+			alltoall.WithShape(shape),
+			alltoall.WithMsgBytes(512),
+			alltoall.WithSeed(1),
+		)
 		if err != nil {
 			log.Fatalf("%s: %v", p.Name(), err)
 		}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,7 +19,8 @@ func main() {
 		"bytes", "measured ms", "Eq3 model ms", "Eq2 peak ms", "model err")
 
 	for _, m := range []int{64, 256, 1024, 4096} {
-		res, err := alltoall.Run(alltoall.AR, alltoall.Options{Shape: shape, MsgBytes: m, Seed: 1})
+		res, err := alltoall.RunContext(context.Background(), alltoall.AR,
+			alltoall.WithShape(shape), alltoall.WithMsgBytes(m), alltoall.WithSeed(1))
 		if err != nil {
 			log.Fatal(err)
 		}

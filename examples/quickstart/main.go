@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -11,12 +12,18 @@ import (
 
 func main() {
 	// An 8x8x8 torus is one Blue Gene/L midplane (512 nodes). Every node
-	// sends a distinct 1 KiB message to every other node.
-	res, err := alltoall.Run(alltoall.AR, alltoall.Options{
-		Shape:    alltoall.NewTorus(8, 8, 8),
-		MsgBytes: 1024,
-		Seed:     1,
-	})
+	// sends a distinct 1 KiB message to every other node. A Request is the
+	// canonical job value: the same struct runs here, from the aasim CLI,
+	// and as an aaserve HTTP job, with req.Key() as its cache identity.
+	req, err := alltoall.NewRequest(alltoall.AR,
+		alltoall.WithShape(alltoall.NewTorus(8, 8, 8)),
+		alltoall.WithMsgBytes(1024),
+		alltoall.WithSeed(1),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := alltoall.RunRequest(context.Background(), req)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -25,11 +26,13 @@ func main() {
 
 	crossover := -1
 	for m := 1; m <= *msgMax; m *= 4 {
-		ar, err := alltoall.Run(alltoall.AR, alltoall.Options{Shape: shape, MsgBytes: m, Seed: 1})
+		ar, err := alltoall.RunContext(context.Background(), alltoall.AR,
+			alltoall.WithShape(shape), alltoall.WithMsgBytes(m), alltoall.WithSeed(1))
 		if err != nil {
 			log.Fatal(err)
 		}
-		vm, err := alltoall.Run(alltoall.VMesh, alltoall.Options{Shape: shape, MsgBytes: m, Seed: 1})
+		vm, err := alltoall.RunContext(context.Background(), alltoall.VMesh,
+			alltoall.WithShape(shape), alltoall.WithMsgBytes(m), alltoall.WithSeed(1))
 		if err != nil {
 			log.Fatal(err)
 		}

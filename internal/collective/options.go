@@ -135,6 +135,13 @@ type Options struct {
 	// state is written if a run stalls or exceeds MaxTime (diagnostics).
 	DebugDump string
 
+	// DetRouting forces deterministic dimension-ordered routing for runs
+	// whose workload does not already fix the routing mode. Only pattern
+	// runs (traffic.RunOpts / alltoall.RunPatternContext) consult it; the
+	// collective strategies choose routing per strategy (DR is the
+	// deterministic one) and ignore this field.
+	DetRouting bool
+
 	// Observer, when non-nil, taps the simulation for instrumentation
 	// (typically an *observe.Collector). Multi-phase strategies report each
 	// phase as one observed run to the same observer. When the observer is
@@ -172,21 +179,7 @@ func (o *Options) fill() error {
 	if o.PaceFraction < 0 || o.PaceFraction > 1 {
 		return fmt.Errorf("collective: PaceFraction %v out of (0,1]", o.PaceFraction)
 	}
-	if o.Par == (network.Params{}) {
-		o.Par = network.DefaultParams()
-	}
-	if o.Check {
-		o.Par.Check = true
-	}
-	if o.EventQueue != "" {
-		o.Par.EventQueue = o.EventQueue
-	}
-	if o.Coalesce != "" {
-		o.Par.Coalesce = o.Coalesce
-	}
-	if o.Faults != nil {
-		o.Par.Faults = o.Faults
-	}
+	o.Par = o.NetParams()
 	if o.Calib == (model.Calib{}) {
 		o.Calib = model.DefaultCalib()
 	}
@@ -195,6 +188,31 @@ func (o *Options) fill() error {
 		o.MaxTime = int64(peak*100) + int64(o.Shape.P())*(o.Calib.AlphaMsg+o.Calib.AlphaMPI)*64 + 1<<24
 	}
 	return nil
+}
+
+// NetParams returns the effective machine parameters for this run: Par
+// defaulted to network.DefaultParams, with the Check / EventQueue /
+// Coalesce / Faults conveniences folded in. fill applies exactly this;
+// pattern runs (internal/traffic) share it so the engine knobs mean the
+// same thing under every entry point.
+func (o *Options) NetParams() network.Params {
+	p := o.Par
+	if p == (network.Params{}) {
+		p = network.DefaultParams()
+	}
+	if o.Check {
+		p.Check = true
+	}
+	if o.EventQueue != "" {
+		p.EventQueue = o.EventQueue
+	}
+	if o.Coalesce != "" {
+		p.Coalesce = o.Coalesce
+	}
+	if o.Faults != nil {
+		p.Faults = o.Faults
+	}
+	return p
 }
 
 // dumpOnError writes the network state to o.DebugDump when a run failed.

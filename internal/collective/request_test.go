@@ -1,0 +1,252 @@
+package collective
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"alltoall/internal/model"
+	"alltoall/internal/network"
+	"alltoall/internal/observe"
+	"alltoall/internal/torus"
+)
+
+// fullRequest exercises every canonical field at a non-default value.
+func fullRequest() Request {
+	return Request{
+		Strategy:        StratTPS,
+		Shape:           torus.New(8, 4, 2),
+		MsgBytes:        240,
+		Seed:            7,
+		Burst:           3,
+		PaceBurst:       5,
+		PaceFraction:    0.5,
+		Unpaced:         false,
+		Shards:          2,
+		Check:           true,
+		EventQueue:      network.EventQueueHeap,
+		Coalesce:        network.CoalesceOff,
+		Faults:          "0:5:+x:kill",
+		MaxTime:         5_000_000,
+		TPSLinear:       1,
+		TPSCreditWindow: 32,
+		TPSCreditBatch:  4,
+		ObserveWindow:   512,
+		Observe:         true,
+	}
+}
+
+func TestRequestRoundTripOptions(t *testing.T) {
+	req := fullRequest()
+	if err := req.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	o, err := req.options()
+	if err != nil {
+		t.Fatalf("options: %v", err)
+	}
+	back, err := NewRequest(req.Strategy, o)
+	if err != nil {
+		t.Fatalf("NewRequest: %v", err)
+	}
+	// Observe/ObserveWindow are not representable in Options (the Observer
+	// there is machinery), so the round trip drops them by design.
+	back.Observe = req.Observe
+	back.ObserveWindow = req.ObserveWindow
+	if back != req {
+		t.Errorf("options round trip drifted:\n got %+v\nwant %+v", back, req)
+	}
+}
+
+func TestRequestJSONRoundTrip(t *testing.T) {
+	req := fullRequest()
+	data, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Request
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal %s: %v", data, err)
+	}
+	if back != req {
+		t.Errorf("JSON round trip drifted:\n got %+v\nwant %+v\nwire %s", back, req, data)
+	}
+}
+
+func TestRequestJSONNormalizesCase(t *testing.T) {
+	var req Request
+	wire := `{"strategy":"tps","shape":"8x4x2","msg_bytes":64,"tps_linear":"Y","event_queue":"HEAP"}`
+	if err := json.Unmarshal([]byte(wire), &req); err != nil {
+		t.Fatal(err)
+	}
+	if req.Strategy != StratTPS {
+		t.Errorf("strategy = %q, want TPS", req.Strategy)
+	}
+	if req.TPSLinear != 2 {
+		t.Errorf("TPSLinear = %d, want 2 (Y)", req.TPSLinear)
+	}
+	if err := req.Validate(); err != nil {
+		t.Errorf("normalized request fails validation: %v", err)
+	}
+}
+
+// TestRequestKeyInjective flips every canonical field in turn and demands a
+// distinct key: a collision here would let the serving layer's cache return
+// the wrong simulation.
+func TestRequestKeyInjective(t *testing.T) {
+	base := fullRequest()
+	muts := map[string]func(*Request){
+		"Strategy":        func(r *Request) { r.Strategy = StratAR },
+		"Shape":           func(r *Request) { r.Shape = torus.New(4, 8, 2) },
+		"MsgBytes":        func(r *Request) { r.MsgBytes++ },
+		"Seed":            func(r *Request) { r.Seed++ },
+		"Burst":           func(r *Request) { r.Burst++ },
+		"PaceBurst":       func(r *Request) { r.PaceBurst++ },
+		"PaceFraction":    func(r *Request) { r.PaceFraction = 0.25 },
+		"Unpaced":         func(r *Request) { r.Unpaced = true },
+		"Shards":          func(r *Request) { r.Shards++ },
+		"Check":           func(r *Request) { r.Check = false },
+		"EventQueue":      func(r *Request) { r.EventQueue = network.EventQueueCalendar },
+		"Coalesce":        func(r *Request) { r.Coalesce = network.CoalesceOn },
+		"Faults":          func(r *Request) { r.Faults = "0:5:+y:kill" },
+		"MaxTime":         func(r *Request) { r.MaxTime++ },
+		"TPSLinear":       func(r *Request) { r.TPSLinear = 2 },
+		"TPSCreditWindow": func(r *Request) { r.TPSCreditWindow++ },
+		"TPSCreditBatch":  func(r *Request) { r.TPSCreditBatch++ },
+		"VMeshRows":       func(r *Request) { r.VMeshRows = 4 },
+		"VMeshCols":       func(r *Request) { r.VMeshCols = 4 },
+		"VMeshMapOrder":   func(r *Request) { r.VMeshMapOrder = "xzy" },
+		"Observe":         func(r *Request) { r.Observe = false },
+		"ObserveWindow":   func(r *Request) { r.ObserveWindow++ },
+	}
+	seen := map[string]string{base.Key(): "base"}
+	for name, mut := range muts {
+		r := base
+		mut(&r)
+		k := r.Key()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("key collision between %s and %s: %s", name, prev, k)
+		}
+		seen[k] = name
+	}
+}
+
+// TestRequestKeyDistinguishesUnitDims guards the Shape.Canon fix: String()
+// collapses unit dimensions ([8,8,1] and [8,1,8] both render "8x8"), so a
+// key built on String() would alias genuinely different partitions.
+func TestRequestKeyDistinguishesUnitDims(t *testing.T) {
+	a := Request{Strategy: StratAR, Shape: torus.New(8, 8, 1), MsgBytes: 64}
+	b := Request{Strategy: StratAR, Shape: torus.New(8, 1, 8), MsgBytes: 64}
+	if a.Key() == b.Key() {
+		t.Fatalf("shapes %v and %v share key %s", a.Shape, b.Shape, a.Key())
+	}
+}
+
+func TestNewRequestRejectsMachinery(t *testing.T) {
+	good := Options{Shape: torus.New(4, 4, 2), MsgBytes: 64}
+	cases := map[string]func(*Options){
+		"Params":    func(o *Options) { o.Par = network.DefaultParams() },
+		"Calib":     func(o *Options) { o.Calib = model.DefaultCalib() },
+		"Observer":  func(o *Options) { o.Observer = observe.New(observe.Config{}) },
+		"Cache":     func(o *Options) { o.Cache = &NetCache{} },
+		"DebugDump": func(o *Options) { o.DebugDump = "/tmp/dump" },
+	}
+	if _, err := NewRequest(StratAR, good); err != nil {
+		t.Fatalf("plain options should canonicalize: %v", err)
+	}
+	for name, mut := range cases {
+		o := good
+		mut(&o)
+		_, err := NewRequest(StratAR, o)
+		if !errors.Is(err, ErrNotCanonical) {
+			t.Errorf("%s: err = %v, want ErrNotCanonical", name, err)
+		}
+	}
+}
+
+func TestRequestValidate(t *testing.T) {
+	good := Request{Strategy: StratAR, Shape: torus.New(4, 4, 2), MsgBytes: 64}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good request: %v", err)
+	}
+	bad := map[string]Request{
+		"strategy":  {Strategy: "bogus", Shape: torus.New(4, 4, 2), MsgBytes: 64},
+		"lowercase": {Strategy: "ar", Shape: torus.New(4, 4, 2), MsgBytes: 64},
+		"msg":       {Strategy: StratAR, Shape: torus.New(4, 4, 2)},
+		"shards":    {Strategy: StratAR, Shape: torus.New(4, 4, 2), MsgBytes: 64, Shards: -1},
+		"pace":      {Strategy: StratAR, Shape: torus.New(4, 4, 2), MsgBytes: 64, PaceFraction: 1.5},
+		"queue":     {Strategy: StratAR, Shape: torus.New(4, 4, 2), MsgBytes: 64, EventQueue: "ring"},
+		"coalesce":  {Strategy: StratAR, Shape: torus.New(4, 4, 2), MsgBytes: 64, Coalesce: "maybe"},
+		"faults":    {Strategy: StratAR, Shape: torus.New(4, 4, 2), MsgBytes: 64, Faults: "nope"},
+		"maporder":  {Strategy: StratAR, Shape: torus.New(4, 4, 2), MsgBytes: 64, VMeshMapOrder: "xxy"},
+		"tpslinear": {Strategy: StratAR, Shape: torus.New(4, 4, 2), MsgBytes: 64, TPSLinear: 4},
+	}
+	for name, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, r)
+		}
+	}
+	shapeless := Request{Strategy: StratAR, MsgBytes: 64}
+	if err := shapeless.Validate(); !errors.Is(err, torus.ErrBadShape) {
+		t.Errorf("shapeless Validate = %v, want ErrBadShape", err)
+	}
+}
+
+func TestParseStrategy(t *testing.T) {
+	for _, in := range []string{"TPS", "tps", "Tps"} {
+		s, err := ParseStrategy(in)
+		if err != nil || s != StratTPS {
+			t.Errorf("ParseStrategy(%q) = %q, %v; want TPS", in, s, err)
+		}
+	}
+	if _, err := ParseStrategy("warp"); err == nil {
+		t.Error("ParseStrategy accepted unknown name")
+	}
+}
+
+// TestRunRequestMatchesRun pins the front-door contract: a Request run
+// produces the identical Result as the legacy struct-options path for the
+// same configuration.
+func TestRunRequestMatchesRun(t *testing.T) {
+	opts := Options{Shape: torus.New(4, 4, 2), MsgBytes: 64, Seed: 3, Check: true}
+	req, err := NewRequest(StratAR, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := Run(StratAR, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaReq, err := RunRequest(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(direct, viaReq) {
+		t.Errorf("RunRequest diverged from Run:\n direct %+v\n viaReq %+v", direct, viaReq)
+	}
+}
+
+// TestRunRequestObserve checks the observe auto-attach: Observe=true yields
+// Result.Observed without the caller wiring a collector.
+func TestRunRequestObserve(t *testing.T) {
+	req := Request{Strategy: StratAR, Shape: torus.New(4, 4, 2), MsgBytes: 64, Observe: true}
+	res, err := RunRequest(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Observed == nil {
+		t.Fatal("Observe=true produced no Result.Observed")
+	}
+	if res.Observed.BytesByDim[0] == 0 {
+		t.Error("observed summary carries no X-dimension bytes")
+	}
+}
+
+func TestRequestKeyVersionPrefix(t *testing.T) {
+	if k := fullRequest().Key(); !strings.HasPrefix(k, "aa1|") {
+		t.Errorf("key %q lacks the aa1| version prefix", k)
+	}
+}

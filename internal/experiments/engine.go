@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -108,7 +109,7 @@ func (c Config) runCached(strat collective.Strategy, opts collective.Options, ca
 		obs = observe.New(observe.Config{})
 		opts.Observer = obs
 	}
-	res, err := collective.Run(strat, opts)
+	res, err := c.dispatch(strat, opts, cache, obs)
 	if err != nil {
 		return res, err
 	}
@@ -119,6 +120,33 @@ func (c Config) runCached(strat collective.Strategy, opts collective.Options, ca
 		}
 	}
 	return res, nil
+}
+
+// dispatch routes a run through the canonical Request path when the Options
+// are representable as one - the same front door aaserve and the public
+// RunRequest use, keeping the experiments engine on the code path the
+// serving layer's byte-identity contract is stated for. Options that a
+// Request cannot express (ablations overriding machine Params, forced TPS
+// dimensions, etc.) fall back to the struct runner; machinery (cache,
+// observer) is stripped before canonicalization and re-attached as extras.
+func (c Config) dispatch(strat collective.Strategy, opts collective.Options, cache *collective.NetCache, obs *observe.Collector) (collective.Result, error) {
+	plain := opts
+	plain.Cache = nil
+	plain.Observer = nil
+	req, err := collective.NewRequest(strat, plain)
+	if err != nil {
+		if errors.Is(err, collective.ErrNotCanonical) {
+			return collective.Run(strat, opts)
+		}
+		return collective.Result{}, err
+	}
+	if obs != nil {
+		req.Observe = true
+	}
+	return collective.RunRequest(context.Background(), req, func(o *collective.Options) {
+		o.Cache = cache
+		o.Observer = opts.Observer
+	})
 }
 
 // mapRows fans an experiment's independent rows (or sweep points) across

@@ -242,8 +242,8 @@ func (e *engine) processUntil(tend, maxTime int64) error {
 		}
 		e.now = ev.t
 		if e.now > maxTime {
-			return fmt.Errorf("network: exceeded max time %d (in flight %d, active sources %d)",
-				maxTime, e.inFlight, e.activeSrc)
+			return fmt.Errorf("%w %d (in flight %d, active sources %d)",
+				ErrMaxTime, maxTime, e.inFlight, e.activeSrc)
 		}
 		e.dispatch(ev)
 		if e.par.Check && e.vio != nil {

@@ -12,6 +12,13 @@ import (
 // returns; test with errors.Is.
 var ErrCanceled = errors.New("network: run canceled")
 
+// ErrMaxTime is wrapped by the error a run returns when simulated time
+// exceeds the caller's MaxTime bound before the workload completes (a stall,
+// a collapsed configuration, or simply too small a bound); test with
+// errors.Is. Both the serial and the sharded engine return it through the
+// same chokepoint.
+var ErrMaxTime = errors.New("network: exceeded max time")
+
 // Directions: 2*dim + 0 is the + direction, 2*dim + 1 is the - direction.
 const numDirs = 6
 

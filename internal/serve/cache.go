@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"alltoall/internal/collective"
+)
+
+// resultCache memoizes completed job results in an LRU keyed by the
+// canonical Request.Key(). The cached value is the encoded result JSON
+// (plus the Result struct for job-status rendering), so a hit is served
+// byte-for-byte as the original run - the cache can never introduce a
+// divergence between a served and a directly-computed result, because keys
+// are injective over every Result-determining field and the engines are
+// deterministic. Only successful runs are cached; failures always re-run.
+type resultCache struct {
+	mu  sync.Mutex
+	cap int
+	m   map[string]*list.Element
+	l   *list.List // front = most recently used
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+	res  collective.Result
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap: capacity,
+		m:   make(map[string]*list.Element, capacity),
+		l:   list.New(),
+	}
+}
+
+// get returns the cached encoding and Result for a key, refreshing its
+// recency. Callers must treat the returned body as immutable.
+func (c *resultCache) get(key string) ([]byte, collective.Result, bool) {
+	if c == nil || c.cap <= 0 {
+		return nil, collective.Result{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, collective.Result{}, false
+	}
+	c.l.MoveToFront(el)
+	e := el.Value.(*cacheEntry)
+	return e.body, e.res, true
+}
+
+// add inserts (or refreshes) a completed result, evicting the least
+// recently used entry beyond capacity.
+func (c *resultCache) add(key string, body []byte, res collective.Result) {
+	if c == nil || c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.l.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		e.body, e.res = body, res
+		return
+	}
+	c.m[key] = c.l.PushFront(&cacheEntry{key: key, body: body, res: res})
+	for c.l.Len() > c.cap {
+		back := c.l.Back()
+		c.l.Remove(back)
+		delete(c.m, back.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the number of cached results.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.l.Len()
+}

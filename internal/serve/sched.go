@@ -1,0 +1,212 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"alltoall/internal/collective"
+)
+
+// ErrQueueFull is returned by admission control when a job cannot be
+// enqueued because the scheduler queue is at capacity. The HTTP layer maps
+// it to 429 Too Many Requests with a Retry-After estimate; test with
+// errors.Is (re-exported as alltoall.ErrQueueFull).
+var ErrQueueFull = errors.New("serve: job queue full")
+
+// errShutdown rejects submissions after Close.
+var errShutdown = errors.New("serve: server shutting down")
+
+// jobStatus is the lifecycle of a job in the scheduler.
+type jobStatus int32
+
+const (
+	statusQueued jobStatus = iota
+	statusRunning
+	statusDone
+	statusFailed
+)
+
+func (s jobStatus) String() string {
+	switch s {
+	case statusQueued:
+		return "queued"
+	case statusRunning:
+		return "running"
+	case statusDone:
+		return "done"
+	case statusFailed:
+		return "failed"
+	}
+	return fmt.Sprintf("jobStatus(%d)", int32(s))
+}
+
+// job is one scheduled simulation. Fields before done are set at submit
+// time; result fields are written by exactly one goroutine (the worker, or
+// the submitter on a cache hit) before done is closed, and read only after
+// <-done, so no further synchronization is needed on them. status is
+// guarded by the owning server's registry lock for rendering.
+type job struct {
+	id  string
+	req collective.Request
+	key string
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	done      chan struct{}
+	res       collective.Result
+	body      []byte // canonical result JSON (resultJSON), nil on failure
+	err       error
+	fromCache bool
+
+	mu       sync.Mutex // guards status
+	status   jobStatus
+	created  time.Time
+	finished time.Time
+}
+
+func (j *job) setStatus(s jobStatus) {
+	j.mu.Lock()
+	j.status = s
+	j.mu.Unlock()
+}
+
+func (j *job) getStatus() jobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// finish publishes a job outcome exactly once.
+func (j *job) finish(res collective.Result, body []byte, err error) {
+	j.res = res
+	j.body = body
+	j.err = err
+	j.finished = time.Now()
+	if err != nil {
+		j.setStatus(statusFailed)
+	} else {
+		j.setStatus(statusDone)
+	}
+	j.cancel()
+	close(j.done)
+}
+
+// runFunc executes one canonical request; the default is
+// collective.RunRequest with the worker's network cache attached. Tests
+// substitute blocking or failing runners to exercise scheduling edges.
+type runFunc func(ctx context.Context, req collective.Request, cache *collective.NetCache) (collective.Result, error)
+
+func defaultRun(ctx context.Context, req collective.Request, cache *collective.NetCache) (collective.Result, error) {
+	return collective.RunRequest(ctx, req, func(o *collective.Options) { o.Cache = cache })
+}
+
+// scheduler runs jobs on a bounded worker pool behind a bounded FIFO queue.
+// Admission is non-blocking: a full queue refuses the job with ErrQueueFull
+// and the HTTP layer translates that into backpressure. Each worker owns a
+// private collective.NetCache, so consecutive jobs that share a shape and
+// machine parameters recycle the simulation network's allocations - the
+// cheap, always-correct reuse - while byte-level result reuse is the LRU's
+// job (cache.go). Determinism note: a worker cache never changes a Result
+// (Network.Reset reuse is regression-tested byte-identical), so scheduling
+// order and worker count are invisible in served output.
+type scheduler struct {
+	queue   chan *job
+	workers int
+	run     runFunc
+	cache   *resultCache
+	metrics *metrics
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+func newScheduler(workers, depth int, run runFunc, cache *resultCache, m *metrics) *scheduler {
+	s := &scheduler{
+		queue:   make(chan *job, depth),
+		workers: workers,
+		run:     run,
+		cache:   cache,
+		metrics: m,
+	}
+	s.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// submit admits a job: an LRU hit completes it immediately (no queue slot,
+// no worker), otherwise it joins the FIFO unless the queue is full.
+func (s *scheduler) submit(j *job) error {
+	if body, res, ok := s.cache.get(j.key); ok {
+		s.metrics.noteCacheHit()
+		j.fromCache = true
+		j.finish(res, body, nil)
+		return nil
+	}
+	s.metrics.noteCacheMiss()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errShutdown
+	}
+	select {
+	case s.queue <- j:
+		return nil
+	default:
+		s.metrics.noteRejected()
+		return fmt.Errorf("%w (depth %d)", ErrQueueFull, cap(s.queue))
+	}
+}
+
+// depth reports the number of queued (not yet running) jobs.
+func (s *scheduler) depth() int { return len(s.queue) }
+
+func (s *scheduler) worker() {
+	defer s.wg.Done()
+	cache := &collective.NetCache{}
+	for j := range s.queue {
+		// A job can be canceled (client gone, deadline past) while it
+		// waits in the queue; don't burn a worker on it.
+		if err := j.ctx.Err(); err != nil {
+			j.finish(collective.Result{}, nil, fmt.Errorf("canceled while queued: %w", err))
+			s.metrics.noteJob(j.req.Strategy, 0, false, nil)
+			continue
+		}
+		j.setStatus(statusRunning)
+		s.metrics.noteStart()
+		start := time.Now()
+		res, err := s.run(j.ctx, j.req, cache)
+		elapsed := time.Since(start)
+		var body []byte
+		if err == nil {
+			if body, err = resultJSON(res); err == nil {
+				s.cache.add(j.key, body, res)
+			}
+		}
+		s.metrics.noteDone()
+		if err != nil {
+			s.metrics.noteJob(j.req.Strategy, elapsed, false, nil)
+			j.finish(collective.Result{}, nil, err)
+			continue
+		}
+		s.metrics.noteJob(j.req.Strategy, elapsed, true, &res)
+		j.finish(res, body, nil)
+	}
+}
+
+// close drains the pool: no new submissions, queued jobs still run.
+func (s *scheduler) close() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}

@@ -1,0 +1,85 @@
+package torus
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    Shape
+		wantErr bool
+	}{
+		{"8x8x8", New(8, 8, 8), false},
+		{"8", New(8, 1, 1), false},
+		{"8x32", New(8, 32, 1), false},
+		{"8x8x4M", NewMesh(8, 8, 4, true, true, false), false},
+		{"8x8x4m", NewMesh(8, 8, 4, true, true, false), false},
+		{"8x2", New(8, 2, 1), false},
+		{"", Shape{}, true},
+		{"8x8x8x8", Shape{}, true},
+		{"axb", Shape{}, true},
+		{"0x8", Shape{}, true},
+		{"8xM", Shape{}, true},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if (err != nil) != c.wantErr {
+			t.Errorf("Parse(%q) err = %v, wantErr %v", c.in, err, c.wantErr)
+			continue
+		}
+		if err != nil {
+			if !errors.Is(err, ErrBadShape) {
+				t.Errorf("Parse(%q) err = %v, want wrapping ErrBadShape", c.in, err)
+			}
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Parse(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestCanonInjectiveRoundTrip checks the two properties keys rely on:
+// Parse(s.Canon()) == s, and shapes that String() aliases stay distinct.
+func TestCanonInjectiveRoundTrip(t *testing.T) {
+	shapes := []Shape{
+		New(8, 8, 8),
+		New(8, 8, 1),
+		New(8, 1, 8),
+		New(1, 8, 8),
+		New(16, 8, 8),
+		NewMesh(8, 8, 4, true, true, false),
+		NewMesh(4, 4, 2, false, false, false),
+		New(2, 2, 2), // too short to wrap: mesh dims
+	}
+	seen := map[string]Shape{}
+	for _, s := range shapes {
+		c := s.Canon()
+		if prev, dup := seen[c]; dup {
+			t.Errorf("Canon collision: %+v and %+v both render %q", prev, s, c)
+		}
+		seen[c] = s
+		back, err := Parse(c)
+		if err != nil {
+			t.Errorf("Parse(Canon %q): %v", c, err)
+			continue
+		}
+		if back != s {
+			t.Errorf("Parse(Canon %q) = %+v, want %+v", c, back, s)
+		}
+	}
+	// The aliasing String() renderings really do collide - that's why Canon
+	// exists.
+	if New(8, 8, 1).String() != New(8, 1, 8).String() {
+		t.Log("String() no longer aliases unit dims; Canon may be redundant")
+	}
+}
+
+func TestValidateWrapsErrBadShape(t *testing.T) {
+	bad := Shape{Size: [NumDims]int{0, 8, 8}}
+	if err := bad.Validate(); !errors.Is(err, ErrBadShape) {
+		t.Errorf("Validate = %v, want wrapping ErrBadShape", err)
+	}
+}

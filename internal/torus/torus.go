@@ -10,9 +10,16 @@
 package torus
 
 import (
+	"errors"
 	"fmt"
+	"strconv"
 	"strings"
 )
+
+// ErrBadShape is wrapped by every shape-validation and shape-parsing error,
+// so callers at any layer can classify them with errors.Is (the HTTP service
+// maps them to 400 Bad Request).
+var ErrBadShape = errors.New("torus: bad shape")
 
 // Dim indexes the three torus dimensions.
 type Dim int
@@ -66,20 +73,64 @@ func NewMesh(x, y, z int, wrapX, wrapY, wrapZ bool) Shape {
 	return s
 }
 
-// Validate reports whether the shape is usable.
+// Validate reports whether the shape is usable. Every error wraps
+// ErrBadShape.
 func (s Shape) Validate() error {
 	for d := 0; d < NumDims; d++ {
 		if s.Size[d] < 1 {
-			return fmt.Errorf("torus: dimension %v has size %d (must be >= 1)", Dim(d), s.Size[d])
+			return fmt.Errorf("%w: dimension %v has size %d (must be >= 1)", ErrBadShape, Dim(d), s.Size[d])
 		}
 		if s.Size[d] <= 2 && s.Wrap[d] {
-			return fmt.Errorf("torus: dimension %v of size %d cannot wrap", Dim(d), s.Size[d])
+			return fmt.Errorf("%w: dimension %v of size %d cannot wrap", ErrBadShape, Dim(d), s.Size[d])
 		}
 	}
 	if s.P() < 2 {
-		return fmt.Errorf("torus: partition must have at least 2 nodes, got %d", s.P())
+		return fmt.Errorf("%w: partition must have at least 2 nodes, got %d", ErrBadShape, s.P())
 	}
 	return nil
+}
+
+// Parse reads the textual shape grammar shared by the CLIs and the HTTP
+// service: "8", "8x8", "8x32x16", with an optional M (or m) suffix per
+// dimension marking it as a mesh (no wrap links). Unnamed trailing
+// dimensions default to size 1. Errors wrap ErrBadShape.
+func Parse(s string) (Shape, error) {
+	parts := strings.Split(strings.ToLower(strings.TrimSpace(s)), "x")
+	if len(parts) < 1 || len(parts) > NumDims {
+		return Shape{}, fmt.Errorf("%w: %q: want 1-%d dimensions", ErrBadShape, s, NumDims)
+	}
+	size := [NumDims]int{1, 1, 1}
+	wrap := [NumDims]bool{}
+	for i, p := range parts {
+		mesh := strings.HasSuffix(p, "m")
+		p = strings.TrimSuffix(p, "m")
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 1 {
+			return Shape{}, fmt.Errorf("%w: %q: bad dimension %q", ErrBadShape, s, p)
+		}
+		size[i] = v
+		wrap[i] = !mesh && v > 2
+	}
+	return NewMesh(size[0], size[1], size[2], wrap[0], wrap[1], wrap[2]), nil
+}
+
+// Canon renders the shape in the Parse grammar without collapsing unit
+// dimensions, so distinct shapes always render distinctly ("8x1x8" vs
+// "8x8x1", which String both abbreviates to "8x8"). Parse(s.Canon()) == s
+// for every valid shape; canonical request keys and the service's JSON wire
+// format use this encoding.
+func (s Shape) Canon() string {
+	var b strings.Builder
+	for d := 0; d < NumDims; d++ {
+		if d > 0 {
+			b.WriteByte('x')
+		}
+		fmt.Fprintf(&b, "%d", s.Size[d])
+		if !s.Wrap[d] && s.Size[d] > 2 {
+			b.WriteByte('M')
+		}
+	}
+	return b.String()
 }
 
 // P returns the total number of nodes in the partition.

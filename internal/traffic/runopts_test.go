@@ -1,0 +1,97 @@
+package traffic
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"alltoall/internal/collective"
+	"alltoall/internal/network"
+	"alltoall/internal/torus"
+)
+
+// TestRunOptsMatchesRun pins the unified-options entry point to the legacy
+// struct path: same pattern, same configuration, identical Result.
+func TestRunOptsMatchesRun(t *testing.T) {
+	s := torus.New(4, 4, 2)
+	legacy, err := Run(Shift{Offset: 3}, Options{Shape: s, MsgBytes: 256, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unified, err := RunOpts(context.Background(), Shift{Offset: 3},
+		collective.Options{Shape: s, MsgBytes: 256, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy != unified {
+		t.Errorf("RunOpts diverged from Run:\nlegacy  %+v\nunified %+v", legacy, unified)
+	}
+}
+
+// TestRunOptsSharded checks pattern runs on the window-parallel engine
+// produce the identical result as the serial engine.
+func TestRunOptsSharded(t *testing.T) {
+	s := torus.New(4, 4, 2)
+	serial, err := RunOpts(context.Background(), Shift{Offset: 5},
+		collective.Options{Shape: s, MsgBytes: 256, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := RunOpts(context.Background(), Shift{Offset: 5},
+		collective.Options{Shape: s, MsgBytes: 256, Seed: 1, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial != sharded {
+		t.Errorf("sharded pattern run diverged:\nserial  %+v\nsharded %+v", serial, sharded)
+	}
+}
+
+func TestRunOptsDetRouting(t *testing.T) {
+	s := torus.New(4, 4, 2)
+	adaptive, err := RunOpts(context.Background(), Transpose{},
+		collective.Options{Shape: s, MsgBytes: 512, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := RunOpts(context.Background(), Transpose{},
+		collective.Options{Shape: s, MsgBytes: 512, Seed: 1, DetRouting: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adaptive.Messages != det.Messages {
+		t.Errorf("routing mode changed message count: %d vs %d", adaptive.Messages, det.Messages)
+	}
+}
+
+func TestRunOptsPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunOpts(ctx, Shift{Offset: 1},
+		collective.Options{Shape: torus.New(4, 4, 2), MsgBytes: 64})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunCanceledMidRun drives the engine's cancellation path directly: a
+// closed cancel channel aborts the simulation with ErrCanceled.
+func TestRunCanceledMidRun(t *testing.T) {
+	closed := make(chan struct{})
+	close(closed)
+	_, err := run(RandomSubset{K: 8, Seed: 3},
+		Options{Shape: torus.New(8, 4, 4), MsgBytes: 4096}, closed, 1)
+	if !errors.Is(err, network.ErrCanceled) {
+		t.Errorf("err = %v, want wrapping network.ErrCanceled", err)
+	}
+}
+
+func TestRunOptsMaxTime(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		_, err := RunOpts(context.Background(), Shift{Offset: 1},
+			collective.Options{Shape: torus.New(4, 4, 2), MsgBytes: 4096, MaxTime: 50, Shards: shards})
+		if !errors.Is(err, network.ErrMaxTime) {
+			t.Errorf("shards=%d: err = %v, want wrapping network.ErrMaxTime", shards, err)
+		}
+	}
+}

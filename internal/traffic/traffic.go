@@ -9,6 +9,7 @@
 package traffic
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -207,8 +208,44 @@ func (h *patternHandler) OnDeliver(d network.Delivered, fw []network.PacketSpec)
 	return fw, 0, true
 }
 
+// RunOpts executes a pattern under a context with the collective Options
+// vocabulary, the engine behind alltoall.RunPatternContext: pattern runs
+// share the same option set as the all-to-all strategies (shape, message
+// size, seed, shards, check, event queue, coalescing, faults via the
+// effective machine parameters, MaxTime) plus Options.DetRouting for
+// deterministic dimension-ordered routing. Cancellation aborts the run with
+// an error wrapping network.ErrCanceled; an exceeded time bound wraps
+// network.ErrMaxTime.
+func RunOpts(ctx context.Context, pat Pattern, o collective.Options) (Result, error) {
+	opts := Options{
+		Shape:    o.Shape,
+		MsgBytes: o.MsgBytes,
+		Seed:     o.Seed,
+		Det:      o.DetRouting,
+		Par:      o.NetParams(),
+		MaxTime:  o.MaxTime,
+	}
+	var cancel <-chan struct{}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+		cancel = ctx.Done()
+	}
+	return run(pat, opts, cancel, o.Shards)
+}
+
 // Run executes a pattern on the simulated torus.
+//
+// Deprecated: Run is the legacy struct-options entry point, kept as a thin
+// wrapper; prefer RunOpts (alltoall.RunPatternContext), which adds
+// cancellation, engine sharding, and the unified option set.
 func Run(pat Pattern, opts Options) (Result, error) {
+	return run(pat, opts, nil, 1)
+}
+
+// run is the shared pattern executor.
+func run(pat Pattern, opts Options, cancel <-chan struct{}, shards int) (Result, error) {
 	if err := opts.Shape.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -246,11 +283,15 @@ func Run(pat Pattern, opts Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	nw.SetCancel(cancel)
 	maxTime := opts.MaxTime
 	if maxTime == 0 {
 		maxTime = int64(messages)*msg.Wire*int64(p) + 1<<24
 	}
-	t, err := nw.Run(maxTime)
+	if shards < 1 {
+		shards = 1
+	}
+	t, err := nw.RunSharded(maxTime, shards)
 	if err != nil {
 		return Result{}, fmt.Errorf("traffic: %s on %v: %w", pat.Name(), opts.Shape, err)
 	}
