@@ -100,6 +100,12 @@ type Params = network.Params
 // DefaultParams returns the Blue Gene/L-derived machine calibration.
 func DefaultParams() Params { return network.DefaultParams() }
 
+// Sharded-engine synchronization protocols, for WithSync / Request.Sync.
+const (
+	SyncAsync = network.SyncAsync // asynchronous conservative engine (default)
+	SyncBSP   = network.SyncBSP   // lockstep window-barrier escape hatch
+)
+
 // Calib holds the paper's measured model constants.
 type Calib = model.Calib
 

@@ -43,6 +43,12 @@ func WithSeed(seed uint64) Option { return func(o *Options) { o.Seed = seed } }
 // (results are byte-identical to the serial engine; 0 or 1 stays serial).
 func WithShards(n int) Option { return func(o *Options) { o.Shards = n } }
 
+// WithSync selects the sharded engine's synchronization protocol: "" or
+// SyncAsync for the asynchronous conservative engine (the default), SyncBSP
+// for the lockstep window-barrier escape hatch. Results are byte-identical
+// either way; this is a performance knob, meaningful only with shards > 1.
+func WithSync(mode string) Option { return func(o *Options) { o.Sync = mode } }
+
 // WithCheck enables the runtime invariant checker (~1.4x simulation time).
 func WithCheck(on bool) Option { return func(o *Options) { o.Check = on } }
 

@@ -45,7 +45,14 @@ import (
 // actual event-queue pops, which coalescing makes smaller, and
 // events_per_packet = queued_events/packets is the hardware-independent
 // event-volume metric the CI regression gate compares across commits.
-const benchSchemaVersion = 2
+//
+// v3: added sync (the -sync protocol selection) and the sharded engine's
+// synchronization counters, per experiment and as totals:
+// sync_horizon_advances (windows/clock advances), sync_blocked_waits
+// (barrier crossings or blocked backoff episodes), sync_blocked_wait_ns
+// (wall-clock spent blocked, async only), sync_cross_shard_events and
+// sync_cross_shard_bytes (boundary traffic). All zero for unsharded runs.
+const benchSchemaVersion = 3
 
 // benchExperiment is one experiment's perf record in the -bench-json file.
 type benchExperiment struct {
@@ -58,6 +65,12 @@ type benchExperiment struct {
 	EventsPerSec    float64 `json:"events_per_sec"`
 	EventsPerPacket float64 `json:"events_per_packet"`
 	RunsPerSec      float64 `json:"runs_per_sec"`
+
+	SyncAdvances int64 `json:"sync_horizon_advances"`
+	SyncWaits    int64 `json:"sync_blocked_waits"`
+	SyncWaitNs   int64 `json:"sync_blocked_wait_ns"`
+	SyncXPkts    int64 `json:"sync_cross_shard_events"`
+	SyncXBytes   int64 `json:"sync_cross_shard_bytes"`
 }
 
 // benchReport is the -bench-json document: enough context to compare
@@ -69,6 +82,7 @@ type benchReport struct {
 	Workers         int               `json:"workers"`
 	Shards          int               `json:"shards"`   // 0 = automatic per run
 	Coalesce        string            `json:"coalesce"` // "" = default (on)
+	Sync            string            `json:"sync"`     // "" = default (async)
 	Experiments     []benchExperiment `json:"experiments"`
 	TotalSeconds    float64           `json:"total_seconds"`
 	TotalRuns       int64             `json:"total_runs"`
@@ -77,6 +91,12 @@ type benchReport struct {
 	TotalPackets    int64             `json:"total_packets"`
 	EventsPerSec    float64           `json:"events_per_sec"`
 	EventsPerPacket float64           `json:"events_per_packet"`
+
+	TotalSyncAdvances int64 `json:"total_sync_horizon_advances"`
+	TotalSyncWaits    int64 `json:"total_sync_blocked_waits"`
+	TotalSyncWaitNs   int64 `json:"total_sync_blocked_wait_ns"`
+	TotalSyncXPkts    int64 `json:"total_sync_cross_shard_events"`
+	TotalSyncXBytes   int64 `json:"total_sync_cross_shard_bytes"`
 }
 
 func fatalf(format string, args ...any) {
@@ -119,6 +139,7 @@ func main() {
 	checkInv := flag.Bool("check", false, "run every simulation with the runtime invariant checker (~1.4x slower)")
 	eventq := flag.String("eventq", "", "event queue: calendar (default) or heap (identical results; perf ablation)")
 	coalesce := flag.String("coalesce", "", "same-tick event coalescing: on (default) or off (identical results; perf ablation)")
+	syncMode := flag.String("sync", "", "sharded-engine protocol: async (default) or bsp barriers (identical results; perf ablation; only affects runs with shards > 1)")
 	faults := flag.String("faults", "", `link-fault schedule applied to every run, semicolon-separated "t:node:dir:action" events (see aasim -faults; node ids refer to the scaled partitions)`)
 	observeRuns := flag.Bool("observe", false, "instrument every run and print a per-run observation table after each experiment")
 	traceOut := flag.String("trace-out", "", "write every run's windowed observation trace as one JSONL file (implies -observe)")
@@ -143,6 +164,7 @@ func main() {
 		Check:      *checkInv,
 		EventQueue: *eventq,
 		Coalesce:   *coalesce,
+		Sync:       *syncMode,
 		Faults:     *faults,
 	}
 	if !*quiet {
@@ -172,6 +194,7 @@ func main() {
 		Workers:       parallel.Workers(*workers),
 		Shards:        *shards,
 		Coalesce:      *coalesce,
+		Sync:          *syncMode,
 	}
 	var sink *experiments.TraceSink
 	if *observeRuns || *traceOut != "" {
@@ -209,12 +232,22 @@ func main() {
 			EventsPerSec:    float64(metrics.Events()) / sec,
 			EventsPerPacket: metrics.EventsPerPacket(),
 			RunsPerSec:      float64(metrics.Runs()) / sec,
+			SyncAdvances:    metrics.SyncAdvances(),
+			SyncWaits:       metrics.SyncWaits(),
+			SyncWaitNs:      metrics.SyncWaitNs(),
+			SyncXPkts:       metrics.CrossShardEvents(),
+			SyncXBytes:      metrics.CrossShardBytes(),
 		})
 		perf.TotalSeconds += sec
 		perf.TotalRuns += metrics.Runs()
 		perf.TotalEvents += metrics.Events()
 		perf.TotalQueued += metrics.QueuedEvents()
 		perf.TotalPackets += metrics.Packets()
+		perf.TotalSyncAdvances += metrics.SyncAdvances()
+		perf.TotalSyncWaits += metrics.SyncWaits()
+		perf.TotalSyncWaitNs += metrics.SyncWaitNs()
+		perf.TotalSyncXPkts += metrics.CrossShardEvents()
+		perf.TotalSyncXBytes += metrics.CrossShardBytes()
 		if *csv {
 			if err := table.WriteCSV(os.Stdout); err != nil {
 				fatalf("%v", err)

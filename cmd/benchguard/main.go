@@ -77,6 +77,11 @@ type Sample struct {
 	// ("events/pkt"), deterministic for a fixed build so runs fold by min
 	// only to shed warm-up artifacts.
 	EventsPerPacket float64 `json:"events_per_packet,omitempty"`
+	// WaitsPerAdvance is the sharded engine's synchronization overhead
+	// ("waits/adv"): blocked waits per horizon advance. Deterministic for
+	// the BSP barrier protocol (fixed barriers per window), scheduling-
+	// dependent but stable for the async engine; runs fold by min.
+	WaitsPerAdvance float64 `json:"waits_per_advance,omitempty"`
 }
 
 const schemaVersion = 1
@@ -89,6 +94,7 @@ func main() {
 		threshold = flag.Float64("threshold", 0.10, "allowed fractional events/s loss before failing")
 		ratio     = flag.String("ratio", "", "compare the A/B events-per-sec ratio of two benchmarks (\"A/B\") instead of absolute values")
 		volume    = flag.Bool("volume", false, "compare events/pkt against the baseline ceiling (hardware-independent; fails when current exceeds baseline by more than -threshold)")
+		waits     = flag.Bool("waits", false, "compare waits/adv (sharded-engine blocked waits per horizon advance) against the baseline ceiling; fails when current exceeds baseline by more than -threshold")
 		note      = flag.String("note", "", "free-form note stored in the recorded baseline")
 	)
 	flag.Parse()
@@ -152,6 +158,11 @@ func main() {
 		}
 	case *volume:
 		failures, err = checkVolume(base.Benchmarks, cur, *threshold)
+		if err != nil {
+			fatal(err)
+		}
+	case *waits:
+		failures, err = checkWaits(base.Benchmarks, cur, *threshold)
 		if err != nil {
 			fatal(err)
 		}
@@ -224,6 +235,9 @@ func parseBench(r io.Reader) (map[string]Sample, string, error) {
 		if s.EventsPerPacket > 0 && (prev.EventsPerPacket == 0 || s.EventsPerPacket < prev.EventsPerPacket) {
 			prev.EventsPerPacket = s.EventsPerPacket
 		}
+		if s.WaitsPerAdvance > 0 && (prev.WaitsPerAdvance == 0 || s.WaitsPerAdvance < prev.WaitsPerAdvance) {
+			prev.WaitsPerAdvance = s.WaitsPerAdvance
+		}
 		out[name] = prev
 	}
 	return out, cpu, sc.Err()
@@ -263,6 +277,8 @@ func parseBenchLine(line string) (string, Sample, bool) {
 			s.EventsPerSec = v
 		case "events/pkt":
 			s.EventsPerPacket = v
+		case "waits/adv":
+			s.WaitsPerAdvance = v
 		}
 	}
 	if s.NsPerOp == 0 && s.EventsPerSec == 0 {
@@ -347,6 +363,44 @@ func checkVolume(base, cur map[string]Sample, threshold float64) ([]string, erro
 	}
 	if matched == 0 {
 		return nil, fmt.Errorf("no benchmark with events/pkt in common with the baseline; nothing checked")
+	}
+	return failures, nil
+}
+
+// checkWaits compares waits/adv for every benchmark carrying the metric on
+// both sides against the baseline's value as a ceiling. For the BSP barrier
+// protocol the ratio is a deterministic property of the window loop (a fixed
+// number of barrier crossings per window), so growth means the protocol got
+// chattier; for the async engine it is scheduling-dependent but stable, and
+// growth means shards block on their peers' clocks more often per unit of
+// progress.
+func checkWaits(base, cur map[string]Sample, threshold float64) ([]string, error) {
+	var names []string
+	for n, s := range base {
+		if s.WaitsPerAdvance > 0 {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	var failures []string
+	matched := 0
+	for _, n := range names {
+		c, ok := cur[n]
+		if !ok || c.WaitsPerAdvance == 0 {
+			fmt.Fprintf(os.Stderr, "benchguard: %s has no waits/adv in input (skipped)\n", n)
+			continue
+		}
+		matched++
+		b, cv := base[n].WaitsPerAdvance, c.WaitsPerAdvance
+		fmt.Printf("%-40s baseline %8.3f waits/adv  current %8.3f  (%+.1f%%)\n", n, b, cv, (cv/b-1)*100)
+		if cv > b*(1+threshold) {
+			failures = append(failures,
+				fmt.Sprintf("%s: sync overhead %.3f -> %.3f waits/adv (+%.1f%%, ceiling %.0f%%)",
+					n, b, cv, (cv/b-1)*100, threshold*100))
+		}
+	}
+	if matched == 0 {
+		return nil, fmt.Errorf("no benchmark with waits/adv in common with the baseline; nothing checked")
 	}
 	return failures, nil
 }

@@ -179,3 +179,45 @@ func TestCheckRatioSlashedNames(t *testing.T) {
 		t.Errorf("slashed-name ratio collapse not flagged: fails=%v err=%v", fails, err)
 	}
 }
+
+func TestParseWaitsPerAdvance(t *testing.T) {
+	out := `BenchmarkNetworkRunLarge/sync=bsp/shards=4-4 	       1	31994061402 ns/op	        22.51 events/pkt	   1017810 events/s	         3.002 waits/adv
+BenchmarkNetworkRunLarge/sync=bsp/shards=4-4 	       1	31999999999 ns/op	        22.51 events/pkt	   1017000 events/s	         3.001 waits/adv
+`
+	m, _, err := parseBench(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m["NetworkRunLarge/sync=bsp/shards=4"]
+	if s.WaitsPerAdvance != 3.001 {
+		t.Errorf("WaitsPerAdvance = %v, want 3.001 (min fold)", s.WaitsPerAdvance)
+	}
+}
+
+func TestCheckWaits(t *testing.T) {
+	base := map[string]Sample{
+		"A":       {N: 1, EventsPerSec: 1000, WaitsPerAdvance: 3.0},
+		"B":       {N: 1, EventsPerSec: 1000, WaitsPerAdvance: 1.1},
+		"NoWaits": {N: 1, EventsPerSec: 1000},
+	}
+	cur := map[string]Sample{
+		"A":       {N: 1, EventsPerSec: 900, WaitsPerAdvance: 3.01}, // +0.3%: within ceiling
+		"B":       {N: 1, EventsPerSec: 900, WaitsPerAdvance: 1.3},  // +18%: sync got chattier
+		"NoWaits": {N: 1, EventsPerSec: 900},
+	}
+	fails, err := checkWaits(base, cur, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fails) != 1 || !strings.Contains(fails[0], "B:") {
+		t.Errorf("failures = %v, want exactly B", fails)
+	}
+	// Waiting less than the baseline never fails.
+	cur["B"] = Sample{N: 1, WaitsPerAdvance: 0.5}
+	if fails, err = checkWaits(base, cur, 0.02); err != nil || len(fails) != 0 {
+		t.Errorf("improvement flagged: %v %v", fails, err)
+	}
+	if _, err := checkWaits(base, map[string]Sample{"X": {WaitsPerAdvance: 1}}, 0.02); err == nil {
+		t.Error("empty intersection not an error")
+	}
+}

@@ -68,6 +68,13 @@ type Options struct {
 	// the differential-testing baseline.
 	Coalesce string
 
+	// Sync selects the sharded engine's synchronization protocol (equivalent
+	// to setting Par.Sync, but composes with a defaulted Par): "" or
+	// network.SyncAsync for the asynchronous conservative engine (the
+	// default), network.SyncBSP for the lockstep barrier escape hatch.
+	// Results are byte-identical either way; ignored when Shards <= 1.
+	Sync string
+
 	// Check enables the simulator's runtime invariant checker (equivalent
 	// to setting Par.Check): every event is validated against the machine's
 	// conservation laws and a completed run must reach full quiescence. A
@@ -148,9 +155,19 @@ type Options struct {
 	// an observe.Collector, Result.Observed carries its summary.
 	Observer network.Observer
 
+	// SyncStats, when non-nil, receives the synchronization-layer counters
+	// of the run (horizon advances, blocked waits, cross-shard traffic;
+	// multi-phase strategies accumulate across phases). Machinery like
+	// Observer, not workload configuration: the counters are scheduling-
+	// and wall-clock-dependent, which is why they are an out-parameter
+	// rather than Result fields - Result stays a pure function of the
+	// request, byte-identical across engines and replays.
+	SyncStats *network.SyncStats
+
 	// cancel, when non-nil, aborts the run when closed; set from a
 	// context's Done channel by RunContext. The serial engine polls it
-	// between events, the sharded engine at window barriers.
+	// between events, the sharded engine at window barriers (bsp) or
+	// horizon advances (async).
 	cancel <-chan struct{}
 }
 
@@ -208,6 +225,9 @@ func (o *Options) NetParams() network.Params {
 	}
 	if o.Coalesce != "" {
 		p.Coalesce = o.Coalesce
+	}
+	if o.Sync != "" {
+		p.Sync = o.Sync
 	}
 	if o.Faults != nil {
 		p.Faults = o.Faults
@@ -279,9 +299,16 @@ func (o *Options) instrument(nw *network.Network) *network.Network {
 }
 
 // runNet drives one simulation with this run's engine selection: the
-// sharded engine when Shards > 1, the serial engine otherwise.
+// sharded engine when Shards > 1, the serial engine otherwise. Sync-layer
+// counters accumulate into o.SyncStats when requested (per phase for
+// multi-phase strategies, which call runNet once per phase).
 func (o *Options) runNet(nw *network.Network) (int64, error) {
-	return nw.RunSharded(o.MaxTime, o.Shards)
+	t, err := nw.RunSharded(o.MaxTime, o.Shards)
+	if err == nil && o.SyncStats != nil {
+		ss := nw.SyncStats()
+		o.SyncStats.Add(&ss)
+	}
+	return t, err
 }
 
 // pacer builds the injection governor for this run; strict drops the burst
@@ -319,8 +346,9 @@ type Result struct {
 	// share one queued marker, so QueuedEvents < Events, and
 	// QueuedEvents/PacketsInjected is the event-volume figure the bench
 	// regression gate tracks. In coalesced mode the count can differ by a
-	// few across shard counts (network.Stats.QueuedEvents) while every
-	// other field stays byte-identical.
+	// few across shard counts and sync protocols
+	// (network.Stats.QueuedEvents) while every other field stays
+	// byte-identical.
 	QueuedEvents int64
 
 	MeanLatencyUnits float64 // mean final-packet injection-to-delivery latency

@@ -48,6 +48,7 @@ type Request struct {
 	Check      bool   // runtime invariant checker
 	EventQueue string // "" | "calendar" | "heap" (results identical)
 	Coalesce   string // "" | "on" | "off" (results identical)
+	Sync       string // "" | "async" | "bsp" shard protocol (results identical)
 
 	// Faults is a deterministic link-fault schedule in the ParseFaults
 	// grammar ("t:node:dir:action;..."); "" faults nothing. The textual
@@ -165,6 +166,11 @@ func (r Request) Validate() error {
 	default:
 		return fmt.Errorf("collective: unknown coalesce mode %q", r.Coalesce)
 	}
+	switch r.Sync {
+	case "", network.SyncAsync, network.SyncBSP:
+	default:
+		return fmt.Errorf("collective: unknown sync protocol %q", r.Sync)
+	}
 	if r.Faults != "" {
 		if _, err := network.ParseFaults(r.Faults); err != nil {
 			return err
@@ -181,13 +187,13 @@ func (r Request) Validate() error {
 // Key returns the canonical encoding of the request: a stable, injective
 // string identity used by the serving layer's result cache, by bench
 // labeling, and by deduplicating sweeps. Equal keys mean byte-identical
-// Results (the engines are deterministic and shard-/queue-/coalescing-
-// invariant); distinct field values always produce distinct keys. The "aa1"
-// prefix versions the encoding.
+// Results (the engines are deterministic and shard-/queue-/coalescing-/
+// sync-invariant); distinct field values always produce distinct keys. The
+// "aa2" prefix versions the encoding (v2 added the sy tag).
 func (r Request) Key() string {
 	var b strings.Builder
 	b.Grow(160)
-	b.WriteString("aa1|s=")
+	b.WriteString("aa2|s=")
 	b.WriteString(string(r.Strategy))
 	b.WriteString("|p=")
 	b.WriteString(r.Shape.Canon())
@@ -207,6 +213,7 @@ func (r Request) Key() string {
 	sep("ck", boolKey(r.Check))
 	sep("eq", r.EventQueue)
 	sep("co", r.Coalesce)
+	sep("sy", r.Sync)
 	sep("f", r.Faults)
 	sep("mt", strconv.FormatInt(r.MaxTime, 10))
 	sep("tl", strconv.Itoa(r.TPSLinear))
@@ -242,6 +249,7 @@ func (r Request) options() (Options, error) {
 		Check:           r.Check,
 		EventQueue:      r.EventQueue,
 		Coalesce:        r.Coalesce,
+		Sync:            r.Sync,
 		MaxTime:         r.MaxTime,
 		TPSCreditWindow: r.TPSCreditWindow,
 		TPSCreditBatch:  r.TPSCreditBatch,
@@ -291,6 +299,9 @@ func NewRequest(strat Strategy, o Options) (Request, error) {
 	if o.Cache != nil {
 		return Request{}, fmt.Errorf("%w: Cache (pass it as a RunRequest extra option)", ErrNotCanonical)
 	}
+	if o.SyncStats != nil {
+		return Request{}, fmt.Errorf("%w: SyncStats (pass it as a RunRequest extra option)", ErrNotCanonical)
+	}
 	if o.DebugDump != "" {
 		return Request{}, fmt.Errorf("%w: DebugDump (pass it as a RunRequest extra option)", ErrNotCanonical)
 	}
@@ -310,6 +321,7 @@ func NewRequest(strat Strategy, o Options) (Request, error) {
 		Check:           o.Check,
 		EventQueue:      o.EventQueue,
 		Coalesce:        o.Coalesce,
+		Sync:            o.Sync,
 		Faults:          o.Faults.String(),
 		MaxTime:         o.MaxTime,
 		TPSCreditWindow: o.TPSCreditWindow,
@@ -378,6 +390,7 @@ type requestWire struct {
 	Check           bool    `json:"check,omitempty"`
 	EventQueue      string  `json:"event_queue,omitempty"`
 	Coalesce        string  `json:"coalesce,omitempty"`
+	Sync            string  `json:"sync,omitempty"`
 	Faults          string  `json:"faults,omitempty"`
 	MaxTime         int64   `json:"max_time,omitempty"`
 	TPSLinear       string  `json:"tps_linear,omitempty"`
@@ -405,6 +418,7 @@ func (r Request) MarshalJSON() ([]byte, error) {
 		Check:           r.Check,
 		EventQueue:      r.EventQueue,
 		Coalesce:        r.Coalesce,
+		Sync:            r.Sync,
 		Faults:          r.Faults,
 		MaxTime:         r.MaxTime,
 		TPSCreditWindow: r.TPSCreditWindow,
@@ -440,6 +454,7 @@ func (r *Request) UnmarshalJSON(data []byte) error {
 		Check:           w.Check,
 		EventQueue:      strings.ToLower(w.EventQueue),
 		Coalesce:        strings.ToLower(w.Coalesce),
+		Sync:            strings.ToLower(w.Sync),
 		Faults:          w.Faults,
 		MaxTime:         w.MaxTime,
 		TPSCreditWindow: w.TPSCreditWindow,

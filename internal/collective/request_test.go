@@ -29,6 +29,7 @@ func fullRequest() Request {
 		Check:           true,
 		EventQueue:      network.EventQueueHeap,
 		Coalesce:        network.CoalesceOff,
+		Sync:            network.SyncBSP,
 		Faults:          "0:5:+x:kill",
 		MaxTime:         5_000_000,
 		TPSLinear:       1,
@@ -246,7 +247,7 @@ func TestRunRequestObserve(t *testing.T) {
 }
 
 func TestRequestKeyVersionPrefix(t *testing.T) {
-	if k := fullRequest().Key(); !strings.HasPrefix(k, "aa1|") {
-		t.Errorf("key %q lacks the aa1| version prefix", k)
+	if k := fullRequest().Key(); !strings.HasPrefix(k, "aa2|") {
+		t.Errorf("key %q lacks the aa2| version prefix", k)
 	}
 }

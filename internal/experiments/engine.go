@@ -15,13 +15,20 @@ import (
 
 // Metrics accumulates simulator work across the (possibly concurrent) runs
 // of one or more experiments: completed collective runs, simulator events
-// processed, and packets injected. All methods are safe for concurrent use;
-// a nil *Metrics discards everything.
+// processed, packets injected, and the sharded engine's synchronization
+// counters (horizon advances, blocked waits, cross-shard traffic). All
+// methods are safe for concurrent use; a nil *Metrics discards everything.
 type Metrics struct {
 	runs    atomic.Int64
 	events  atomic.Int64
 	queued  atomic.Int64
 	packets atomic.Int64
+
+	syncAdvances atomic.Int64
+	syncWaits    atomic.Int64
+	syncWaitNs   atomic.Int64
+	syncXEvents  atomic.Int64
+	syncXBytes   atomic.Int64
 }
 
 func (m *Metrics) note(r collective.Result) {
@@ -32,6 +39,21 @@ func (m *Metrics) note(r collective.Result) {
 	m.events.Add(r.Events)
 	m.queued.Add(r.QueuedEvents)
 	m.packets.Add(r.PacketsInjected)
+}
+
+// noteSync folds one run's synchronization counters into the totals. These
+// ride outside the Result (they are timing-dependent machine facts, not part
+// of the byte-identity contract), so runCached collects them through the
+// Options.SyncStats out-parameter.
+func (m *Metrics) noteSync(ss *network.SyncStats) {
+	if m == nil {
+		return
+	}
+	m.syncAdvances.Add(ss.HorizonAdvances)
+	m.syncWaits.Add(ss.BlockedWaits)
+	m.syncWaitNs.Add(ss.BlockedWaitNs)
+	m.syncXEvents.Add(ss.CrossShardEvents)
+	m.syncXBytes.Add(ss.CrossShardBytes)
 }
 
 // Runs returns the number of completed collective runs.
@@ -78,6 +100,50 @@ func (m *Metrics) EventsPerPacket() float64 {
 	return float64(m.queued.Load()) / float64(m.packets.Load())
 }
 
+// SyncAdvances returns the total horizon advances across sharded runs: BSP
+// windows processed, or async per-shard clock advances.
+func (m *Metrics) SyncAdvances() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.syncAdvances.Load()
+}
+
+// SyncWaits returns the total blocked waits (barrier crossings under BSP,
+// blocked backoff episodes under async).
+func (m *Metrics) SyncWaits() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.syncWaits.Load()
+}
+
+// SyncWaitNs returns the total wall-clock nanoseconds shards spent blocked
+// waiting for other shards' clocks (async engine only; BSP barrier time is
+// not separable from the Await call).
+func (m *Metrics) SyncWaitNs() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.syncWaitNs.Load()
+}
+
+// CrossShardEvents returns the total events that crossed a shard boundary.
+func (m *Metrics) CrossShardEvents() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.syncXEvents.Load()
+}
+
+// CrossShardBytes returns the total bytes shipped across shard boundaries.
+func (m *Metrics) CrossShardBytes() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.syncXBytes.Load()
+}
+
 // progressMu serializes per-row progress lines from concurrent workers so
 // they never interleave mid-line, even across experiments.
 var progressMu sync.Mutex
@@ -109,11 +175,14 @@ func (c Config) runCached(strat collective.Strategy, opts collective.Options, ca
 		obs = observe.New(observe.Config{})
 		opts.Observer = obs
 	}
+	var ss network.SyncStats
+	opts.SyncStats = &ss
 	res, err := c.dispatch(strat, opts, cache, obs)
 	if err != nil {
 		return res, err
 	}
 	c.Metrics.note(res)
+	c.Metrics.noteSync(&ss)
 	if c.Trace != nil {
 		if err := c.Trace.note(c.TracePrefix, strat, &opts, obs); err != nil {
 			return res, err
@@ -133,6 +202,7 @@ func (c Config) dispatch(strat collective.Strategy, opts collective.Options, cac
 	plain := opts
 	plain.Cache = nil
 	plain.Observer = nil
+	plain.SyncStats = nil
 	req, err := collective.NewRequest(strat, plain)
 	if err != nil {
 		if errors.Is(err, collective.ErrNotCanonical) {
@@ -146,6 +216,7 @@ func (c Config) dispatch(strat collective.Strategy, opts collective.Options, cac
 	return collective.RunRequest(context.Background(), req, func(o *collective.Options) {
 		o.Cache = cache
 		o.Observer = opts.Observer
+		o.SyncStats = opts.SyncStats
 	})
 }
 

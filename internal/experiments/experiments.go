@@ -74,6 +74,13 @@ type Config struct {
 	// Tables are byte-identical either way.
 	Coalesce string
 
+	// Sync selects the sharded engine's synchronization protocol for every
+	// run (collective.Options.Sync): "" or "async" for the asynchronous
+	// conservative engine (published per-shard clocks, the default), "bsp"
+	// for the barrier-lockstep escape hatch. Ignored by single-shard runs;
+	// tables are byte-identical either way.
+	Sync string
+
 	// Faults, when non-empty, applies the same deterministic link-fault
 	// schedule (the ParseFaults "t:node:dir:action" grammar) to every run
 	// of the experiment. Node ids refer to the scaled partition actually
@@ -183,7 +190,7 @@ func Names() []string {
 
 func (c Config) opts(s torus.Shape, m int) collective.Options {
 	return collective.Options{Shape: s, MsgBytes: m, Seed: c.Seed, Shards: c.shardsFor(s.P()),
-		Check: c.Check, EventQueue: c.EventQueue, Coalesce: c.Coalesce}
+		Check: c.Check, EventQueue: c.EventQueue, Coalesce: c.Coalesce, Sync: c.Sync}
 }
 
 // shardsFor picks the per-run shard count for a partition of the given node

@@ -314,10 +314,27 @@ func BenchmarkNetworkRunLarge(b *testing.B) {
 		name     string
 		queue    string
 		coalesce string
+		sync     string
+		shards   int
 	}{
-		{"queue=" + EventQueueHeap, EventQueueHeap, ""},
-		{"queue=" + EventQueueCalendar, EventQueueCalendar, ""},
-		{"queue=" + EventQueueCalendar + "/coalesce=" + CoalesceOff, EventQueueCalendar, CoalesceOff},
+		{"queue=" + EventQueueHeap, EventQueueHeap, "", "", 1},
+		{"queue=" + EventQueueCalendar, EventQueueCalendar, "", "", 1},
+		{"queue=" + EventQueueCalendar + "/coalesce=" + CoalesceOff, EventQueueCalendar, CoalesceOff, "", 1},
+	}
+	// Shard-scaling matrix: the BSP barrier protocol against the async
+	// conservative engine at 2 and 4 shards, plus single-shard rows of both
+	// so the intra-run speedup and the 1-core overhead are read off the same
+	// benchmark. All rows simulate the identical byte-exact run.
+	for _, sync := range []string{SyncBSP, SyncAsync} {
+		for _, shards := range []int{1, 2, 4} {
+			cases = append(cases, struct {
+				name     string
+				queue    string
+				coalesce string
+				sync     string
+				shards   int
+			}{fmt.Sprintf("sync=%s/shards=%d", sync, shards), "", "", sync, shards})
+		}
 	}
 	for _, c := range cases {
 		b.Run(c.name, func(b *testing.B) {
@@ -325,29 +342,39 @@ func BenchmarkNetworkRunLarge(b *testing.B) {
 			par := DefaultParams()
 			par.EventQueue = c.queue
 			par.Coalesce = c.coalesce
+			par.Sync = c.sync
 			nw, err := New(shape, par, mkSrcs(), countOnly{})
 			if err != nil {
 				b.Fatal(err)
 			}
-			if _, err := nw.Run(1 << 42); err != nil {
+			if _, err := nw.RunSharded(1<<42, c.shards); err != nil {
 				b.Fatal(err)
 			}
-			var events, queued, packets int64
+			var events, queued, packets, advances, waits int64
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if err := nw.Reset(mkSrcs(), countOnly{}); err != nil {
 					b.Fatal(err)
 				}
-				if _, err := nw.Run(1 << 42); err != nil {
+				if _, err := nw.RunSharded(1<<42, c.shards); err != nil {
 					b.Fatal(err)
 				}
 				st := nw.Stats()
 				events += st.Events()
 				queued += st.QueuedEvents
 				packets += st.PacketsInjected
+				ss := nw.SyncStats()
+				advances += ss.HorizonAdvances
+				waits += ss.BlockedWaits
 			}
 			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
 			b.ReportMetric(float64(queued)/float64(packets), "events/pkt")
+			if c.shards > 1 && advances > 0 {
+				// Synchronization overhead per unit of progress: blocked
+				// waits (barrier crossings or backoff episodes) per horizon
+				// advance. The CI regression gate bounds this ratio.
+				b.ReportMetric(float64(waits)/float64(advances), "waits/adv")
+			}
 		})
 	}
 }

@@ -109,6 +109,19 @@ type engine struct {
 	inMin   int64    // published heap minimum for the window-size vote
 	err     error
 
+	// Async conservative engine state (shard_async.go): async caches whether
+	// this run uses the published-clock protocol; ax is the engine-side
+	// machinery. The sync* counters feed SyncStats under both protocols
+	// (advances = horizons or windows, waits = blocked episodes or barrier
+	// crossings, xEv/xBytes = boundary traffic).
+	async        bool
+	ax           engineAsync
+	syncAdvances int64
+	syncWaits    int64
+	syncWaitNs   int64
+	syncXEv      int64
+	syncXBytes   int64
+
 	// vio holds the first invariant violation caught inside a dispatch
 	// (sites that cannot return an error directly); processUntil surfaces
 	// it at the end of the offending event. Only written when par.Check.
@@ -196,6 +209,10 @@ func (e *engine) resetRunState() {
 	e.inMin = 0
 	e.err = nil
 	e.vio = nil
+	e.async = false
+	e.ax.reset()
+	e.syncAdvances, e.syncWaits, e.syncWaitNs = 0, 0, 0
+	e.syncXEv, e.syncXBytes = 0, 0
 	e.obs = nil
 	e.cancel = nil
 	if e.stats != nil && e.stats != &e.nw.stats {
@@ -329,7 +346,14 @@ func (e *engine) dispatch(ev event) {
 func (e *engine) sendArrive(eta int64, dst, pid int32, p *packet) {
 	if e.shardOf != nil {
 		if s := e.shardOf[dst]; int32(s) != e.id {
-			e.out[s] = append(e.out[s], xmsg{t: eta, node: dst, kind: evArrive, pkt: *p})
+			e.syncXEv++
+			e.syncXBytes += xmsgBytes
+			if e.async {
+				m := xmsg{t: eta, node: dst, kind: evArrive, pkt: *p}
+				e.ax.st.send(e.id, int32(s), &m)
+			} else {
+				e.out[s] = append(e.out[s], xmsg{t: eta, node: dst, kind: evArrive, pkt: *p})
+			}
 			e.inFlight--
 			e.freePacket(pid)
 			return
@@ -351,14 +375,29 @@ func (e *engine) sendCredit(up int32, dir int, vc int8, cost int32) {
 	arg := creditArg(dir, vc, cost)
 	if e.shardOf != nil {
 		if s := e.shardOf[up]; int32(s) != e.id {
+			e.syncXEv++
+			if e.async {
+				// Async credits travel as individual messages: the batched
+				// word stream below needs nondecreasing generation times
+				// within one drain span, which barrierless draining cannot
+				// promise. A full xmsg per credit instead of 8 bytes is the
+				// price of never waiting; SyncStats.CrossShardBytes makes
+				// the tradeoff visible.
+				e.syncXBytes += xmsgBytes
+				m := xmsg{t: t, node: up, arg: arg, kind: evCredit}
+				e.ax.st.send(e.id, int32(s), &m)
+				return
+			}
 			if e.coal {
 				// Batched word stream: tick-grouped (generation times are
 				// nondecreasing within a window), 8 bytes per credit instead
-				// of a 56-byte xmsg; decoded into the receiver's accumulator
+				// of a full xmsg; decoded into the receiver's accumulator
 				// tables at the window barrier (drainInboxes).
+				e.syncXBytes += creditWordBytes
 				e.credOut[s].add(t, up, arg)
 				return
 			}
+			e.syncXBytes += xmsgBytes
 			e.out[s] = append(e.out[s], xmsg{t: t, node: up, arg: arg, kind: evCredit})
 			return
 		}

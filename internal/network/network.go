@@ -262,6 +262,14 @@ type Network struct {
 	shardOf []int16  // node -> owning shard, valid when len(shards) > 0
 	barrier *parallel.Barrier
 	sharded bool // whether the last run used the sharded engines
+
+	// Async conservative engine state (shard_async.go): the shared
+	// coordination block, the structural shard-graph distance matrix
+	// (rebuilt with the shards), and the last successful run's
+	// synchronization counters.
+	async     asyncState
+	shardDist []int32 // [src*s+dst] boundary hop distance, -1 unreachable
+	syncStats SyncStats
 }
 
 // New builds a network for the given shape with per-node sources and a
@@ -533,12 +541,14 @@ func (nw *Network) Run(maxTime int64) (int64, error) {
 	return nw.RunSharded(maxTime, 1)
 }
 
-// RunSharded is Run on the window-parallel engine: the torus is partitioned
-// into shards contiguous node subdomains, each advanced by its own worker in
-// bounded time windows (see shard.go). Output - completion time, statistics,
-// handler observations - is byte-identical to the serial engine at any shard
-// count. shards <= 1 (or a degenerate configuration where the safe window
-// would be empty) selects the serial engine.
+// RunSharded is Run on the parallel engine: the torus is partitioned into
+// shards contiguous node subdomains, each advanced by its own worker -
+// asynchronously against published per-shard clocks by default
+// (shard_async.go), or in lockstep barrier windows under the SyncBSP escape
+// hatch (shard.go). Output - completion time, statistics, handler
+// observations - is byte-identical to the serial engine at any shard count
+// under either protocol. shards <= 1 (or a degenerate configuration where
+// the safe window would be empty) selects the serial engine.
 func (nw *Network) RunSharded(maxTime int64, shards int) (int64, error) {
 	if shards > nw.P {
 		shards = nw.P
@@ -581,6 +591,7 @@ func (nw *Network) runSerial(maxTime int64) (int64, error) {
 	}
 	nw.stats.closeWindows()
 	nw.stats.renderUtil(nw.Par.UtilSampleWindow, nw.linkCount)
+	nw.syncStats = SyncStats{Mode: "serial", Shards: 1}
 	if nw.observer != nil {
 		nw.observer.EndRun(nw.stats.FinishTime)
 	}

@@ -117,6 +117,17 @@ type Params struct {
 	// argument). Coalescing is inert when CreditDelay < 1.
 	Coalesce string
 
+	// Sync selects the sharded engine's synchronization protocol: "" or
+	// SyncAsync (the default) for the asynchronous conservative engine,
+	// where each shard publishes the virtual time it has fully processed
+	// and advances independently to the horizon its peers' clocks and the
+	// precomputed slab-distance lookahead matrix allow (shard_async.go);
+	// SyncBSP is the escape hatch: the original barrier protocol that
+	// advances every shard in lockstep windows of width shardSafeWindow.
+	// Output is byte-identical either way, and to the serial engine, at
+	// any shard count. Ignored by serial runs (Shards <= 1).
+	Sync string
+
 	// Faults is the deterministic link-fault schedule for every run on this
 	// network: timed down/up transitions, permanent kills, and bandwidth
 	// degradation (see FaultSchedule and ParseFaults for the -faults spec
@@ -186,6 +197,12 @@ func (p Params) validate() error {
 	default:
 		return fmt.Errorf("network: unknown Coalesce %q (want %q or %q)",
 			p.Coalesce, CoalesceOn, CoalesceOff)
+	}
+	switch p.Sync {
+	case "", SyncAsync, SyncBSP:
+	default:
+		return fmt.Errorf("network: unknown Sync %q (want %q or %q)",
+			p.Sync, SyncAsync, SyncBSP)
 	}
 	return nil
 }

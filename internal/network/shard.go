@@ -7,18 +7,25 @@ import (
 	"alltoall/internal/parallel"
 )
 
-// The sharded engine is a conservative time-windowed parallel simulation:
-// nodes are partitioned into contiguous rank slabs, each advanced by its own
-// worker over a private event heap. Within a window of width
-// shardSafeWindow no shard can affect another - every cross-shard effect
-// travels with a known minimum delay (PacketGranule+RouterDelay for packet
-// arrivals, CreditDelay for token returns) - so an event generated inside
-// the window [T, T+W) lands at T+W or later. Cross-shard events go into
-// per-shard-pair mailboxes drained at the window barrier; because the event
-// order is a strict total order on (t, node, kind, arg) and arrival args
-// are pid-independent (see heap.go), the pop sequence - and therefore every
-// handler call, statistic, and the finish time - is byte-identical to the
-// serial engine at any shard count.
+// This file is the BSP escape hatch (Params.Sync = SyncBSP) of the sharded
+// engine: a conservative time-windowed parallel simulation in which nodes
+// are partitioned into contiguous rank slabs, each advanced by its own
+// worker over a private event heap, all in lockstep. Within a window of
+// width shardSafeWindow no shard can affect another - every cross-shard
+// effect travels with a known minimum delay (PacketGranule+RouterDelay for
+// packet arrivals, CreditDelay for token returns) - so an event generated
+// inside the window [T, T+W) lands at T+W or later. Cross-shard events go
+// into per-shard-pair mailboxes drained at the window barrier; because the
+// event order is a strict total order on (t, node, kind, arg) and arrival
+// args are pid-independent (see heap.go), the pop sequence - and therefore
+// every handler call, statistic, and the finish time - is byte-identical to
+// the serial engine at any shard count.
+//
+// The default protocol is the asynchronous conservative engine in
+// shard_async.go, which drops the global barriers in favour of published
+// per-shard clocks and a slab-distance lookahead matrix; this barrier
+// protocol remains as the differential oracle and escape hatch, exactly as
+// the reference event heap does for the calendar queue.
 
 // xmsg is one cross-shard effect: a packet arrival (kind evArrive, packet
 // carried by value; the destination shard re-homes it into its own pool) or
@@ -31,9 +38,11 @@ type xmsg struct {
 	pkt  packet
 }
 
-// shardSafeWindow is the provably safe parallel window: the minimum delay of
-// any cross-node interaction. A non-positive result (degenerate parameters)
-// disables sharding.
+// shardSafeWindow is the minimum delay of any cross-node interaction: the
+// provably safe lockstep window of the BSP escape hatch, and the per-hop
+// unit of the async engine's lookahead matrix (lookahead between slabs at
+// boundary distance d is d windows). A non-positive result (degenerate
+// parameters) disables sharding.
 func shardSafeWindow(par Params) int64 {
 	w := int64(PacketGranule) + par.RouterDelay
 	if par.CreditDelay < w {
@@ -71,12 +80,46 @@ func (nw *Network) ensureShards(s int) {
 		}
 	}
 	nw.barrier = parallel.NewBarrier(s)
+	// Async machinery, structural per shard count: the shard-graph distance
+	// matrix, the published arrays, per-engine scratch, and one SPSC ring
+	// per boundary-adjacent ordered pair (direct cross-shard messages only
+	// ever cross one slab boundary). The per-run parts (lookahead values,
+	// clock zeroing) are re-derived by prepareAsync.
+	nw.deriveShardDist(s)
+	st := &nw.async
+	st.clocks = parallel.NewClocks(s)
+	st.gens = parallel.NewClocks(s)
+	st.idle = parallel.NewClocks(s)
+	st.look = make([]int64, s*s)
+	st.outbox = make([][]*xring, s)
+	st.inbox = make([][]*xring, s)
+	for i := 0; i < s; i++ {
+		st.outbox[i] = make([]*xring, s)
+	}
+	for i := 0; i < s; i++ {
+		for j := 0; j < s; j++ {
+			if i != j && nw.shardDist[i*s+j] == 1 {
+				q := newXring()
+				st.outbox[i][j] = q
+				st.inbox[j] = append(st.inbox[j], q)
+			}
+		}
+	}
+	for i := 0; i < s; i++ {
+		e := &nw.shards[i]
+		e.ax.clockSnap = make([]int64, s)
+		e.ax.genSnap = make([]int64, s)
+	}
 }
 
 func (nw *Network) runSharded(maxTime int64, shards int) (int64, error) {
 	nw.ensureShards(shards)
 	nw.sharded = true
 	window := shardSafeWindow(nw.Par)
+	asyncMode := nw.Par.Sync != SyncBSP
+	if asyncMode {
+		nw.prepareAsync(shards, window)
+	}
 	for i := range nw.shards {
 		e := &nw.shards[i]
 		e.obs = nil
@@ -84,6 +127,11 @@ func (nw *Network) runSharded(maxTime int64, shards int) (int64, error) {
 			e.obs = nw.observer.Sink(i, shards, e.lo, e.hi)
 		}
 		e.cancel = nw.cancel
+		e.async = asyncMode
+		if asyncMode {
+			e.ax.st = &nw.async
+			e.ax.clock = 0
+		}
 		e.activeSrc = 0
 		if nw.sources != nil {
 			for n := e.lo; n < e.hi; n++ {
@@ -95,16 +143,43 @@ func (nw *Network) runSharded(maxTime int64, shards int) (int64, error) {
 	}
 	var wg sync.WaitGroup
 	wg.Add(shards - 1)
-	for i := 1; i < shards; i++ {
-		go nw.shards[i].run(maxTime, window, &wg)
+	if asyncMode {
+		for i := 1; i < shards; i++ {
+			go nw.shards[i].runAsync(maxTime, &wg)
+		}
+		nw.shards[0].runAsync(maxTime, nil)
+	} else {
+		for i := 1; i < shards; i++ {
+			go nw.shards[i].run(maxTime, window, &wg)
+		}
+		nw.shards[0].run(maxTime, window, nil)
 	}
-	nw.shards[0].run(maxTime, window, nil)
 	wg.Wait()
 	for i := range nw.shards {
 		if err := nw.shards[i].err; err != nil {
 			return 0, err
 		}
 	}
+	if asyncMode {
+		if err := nw.async.failed(); err != nil {
+			return 0, err
+		}
+	}
+	ss := SyncStats{Mode: SyncBSP, Shards: shards, LookaheadMin: window, LookaheadMax: window}
+	if asyncMode {
+		ss.Mode = SyncAsync
+		ss.LookaheadMin = nw.async.lookMin
+		ss.LookaheadMax = nw.async.lookMax
+	}
+	for i := range nw.shards {
+		e := &nw.shards[i]
+		ss.HorizonAdvances += e.syncAdvances
+		ss.BlockedWaits += e.syncWaits
+		ss.BlockedWaitNs += e.syncWaitNs
+		ss.CrossShardEvents += e.syncXEv
+		ss.CrossShardBytes += e.syncXBytes
+	}
+	nw.syncStats = ss
 	var inFlight int64
 	activeSrc := 0
 	for i := range nw.shards {
@@ -160,6 +235,7 @@ func (e *engine) run(maxTime, window int64, wg *sync.WaitGroup) {
 	for n := e.lo; n < e.hi; n++ {
 		e.maybeRunCPU(n)
 	}
+	e.syncWaits++
 	nw.barrier.Await() // initial injections scheduled; outboxes stable (empty)
 	var pend error
 	for {
@@ -186,6 +262,7 @@ func (e *engine) run(maxTime, window int64, wg *sync.WaitGroup) {
 		} else {
 			e.inMin = maxInt64
 		}
+		e.syncWaits++
 		nw.barrier.Await() // inMin published, all inboxes drained
 		gmin := maxInt64
 		fail := false
@@ -204,6 +281,8 @@ func (e *engine) run(maxTime, window int64, wg *sync.WaitGroup) {
 		if err := e.processUntil(gmin+window, maxTime); err != nil {
 			pend = err
 		}
+		e.syncAdvances++
+		e.syncWaits++
 		nw.barrier.Await() // window processed; outboxes and err published
 	}
 }

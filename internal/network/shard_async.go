@@ -1,0 +1,690 @@
+package network
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+	"unsafe"
+
+	"alltoall/internal/check"
+	"alltoall/internal/parallel"
+)
+
+// The asynchronous conservative engine (Params.Sync = SyncAsync, the
+// default) replaces the BSP window barriers with published per-shard clocks,
+// Chandy-Misra-Bryant style with the null messages folded into the clocks:
+// each shard atomically publishes the virtual time it has fully processed
+// and advances independently to
+//
+//	safe(i) = min over shards j != i of (clock[j] + lookahead[j][i])
+//
+// where lookahead[j][i] is precomputed per run as (shard-graph boundary hop
+// distance between slabs j and i) x shardSafeWindow. Every direct cross-shard
+// message travels between physically adjacent slabs (an arrival or credit
+// targets a neighbour of the emitting node), and every cross-node effect
+// costs at least one window of delay per hop - faults only lengthen paths
+// and degraded links only stretch occupancy - so a message from shard j can
+// never land before clock[j] + lookahead[j][i]. A distant shard constrains
+// only transitively, through the chain of adjacent clocks; the full matrix
+// is kept because it is tiny and only ever tightens the horizon. See
+// DESIGN.md section 13 for the safety proof.
+//
+// Determinism: cross-shard messages travel through single-producer/single-
+// consumer rings and land in a per-engine staged heap ordered by the same
+// (t, node, kind, arg) key as the event queue. A staged message enters the
+// simulator only at its deterministic virtual due point - when its whole
+// (t, node, kind) group key would become the minimum pending item - and the
+// entire group is inserted together, so accumulator state, queue pops, and
+// every elision decision are pure functions of virtual time, independent of
+// when the bytes physically arrived. Output is byte-identical to the serial
+// and BSP engines at any shard count.
+//
+// Termination is a double-scan detector over three published arrays (reusing
+// parallel.Clocks as generation counters and idle flags) plus a global count
+// of sent-but-not-yet-staged messages; see tryTerminate.
+
+// Sync protocol selectors for Params.Sync.
+const (
+	// SyncAsync is the asynchronous conservative engine (this file).
+	SyncAsync = "async"
+	// SyncBSP is the escape hatch: the original barrier protocol advancing
+	// every shard in lockstep windows of width shardSafeWindow (shard.go).
+	SyncBSP = "bsp"
+)
+
+// xmsgBytes is the wire size charged per cross-shard message in
+// SyncStats.CrossShardBytes (the in-memory struct size: what actually moves
+// between the workers' caches).
+var xmsgBytes = int64(unsafe.Sizeof(xmsg{}))
+
+// creditWordBytes is the per-credit cost of the BSP batched word stream.
+const creditWordBytes = 8
+
+// SyncStats reports the synchronization layer's counters for the most recent
+// successful run. Unlike Stats these are scheduling- and wall-clock-dependent
+// (except under SyncBSP, where the counts are structural), which is why they
+// live outside Stats: the byte-identity oracles DeepEqual Stats across
+// engines and shard counts, and these counters are exactly the part that may
+// differ.
+type SyncStats struct {
+	// Mode is "serial", SyncBSP, or SyncAsync - whichever engine ran.
+	Mode string
+	// Shards is the worker count of the run (1 for serial).
+	Shards int
+	// HorizonAdvances counts safe-horizon advances (async) or processed
+	// windows (bsp) summed over shards.
+	HorizonAdvances int64
+	// BlockedWaits counts blocked-wait episodes: transitions into waiting on
+	// a peer's clock (async) or barrier crossings (bsp, structural).
+	BlockedWaits int64
+	// BlockedWaitNs is wall time spent in blocked episodes (async only; the
+	// bsp barrier is not instrumented - timing it would slow the engine the
+	// async one is benchmarked against).
+	BlockedWaitNs int64
+	// CrossShardEvents / CrossShardBytes count messages (logical arrivals
+	// and credits) and bytes crossing shard boundaries. Bytes are mode-
+	// dependent by design: bsp coalesced credits travel as 8-byte packed
+	// words, async credits as full messages (see sendCredit).
+	CrossShardEvents int64
+	CrossShardBytes  int64
+	// LookaheadMin/Max summarize the lookahead matrix (both equal the
+	// uniform window under bsp; zero for serial).
+	LookaheadMin int64
+	LookaheadMax int64
+}
+
+// Add accumulates o into s for multi-phase workloads: counters sum, the
+// identity fields (Mode, Shards) take o's values, and the lookahead summary
+// folds min/max across phases.
+func (s *SyncStats) Add(o *SyncStats) {
+	s.Mode = o.Mode
+	s.Shards = o.Shards
+	s.HorizonAdvances += o.HorizonAdvances
+	s.BlockedWaits += o.BlockedWaits
+	s.BlockedWaitNs += o.BlockedWaitNs
+	s.CrossShardEvents += o.CrossShardEvents
+	s.CrossShardBytes += o.CrossShardBytes
+	if s.LookaheadMin == 0 || (o.LookaheadMin != 0 && o.LookaheadMin < s.LookaheadMin) {
+		s.LookaheadMin = o.LookaheadMin
+	}
+	if o.LookaheadMax > s.LookaheadMax {
+		s.LookaheadMax = o.LookaheadMax
+	}
+}
+
+// SyncStats returns the synchronization-layer counters of the most recent
+// successful run. The value is a snapshot; it does not alias engine state.
+func (nw *Network) SyncStats() SyncStats { return nw.syncStats }
+
+// xring is a bounded single-producer/single-consumer ring of cross-shard
+// messages. The producer owns w, the consumer owns r; each is padded to its
+// own cache line so the two sides never false-share. put spins (yielding)
+// when full - the consumer drains every loop iteration, so the wait is
+// bounded by one receiver wakeup - and bails out when the run is aborting.
+type xring struct {
+	buf  []xmsg
+	mask int64
+	_    [32]byte
+	w    atomic.Int64
+	_    [56]byte
+	r    atomic.Int64
+	_    [56]byte
+}
+
+// xringCap is the ring capacity in messages (power of two). Sized so a full
+// window of boundary traffic rarely fills it; when it does, put's spin is
+// the flow control.
+const xringCap = 1024
+
+func newXring() *xring {
+	return &xring{buf: make([]xmsg, xringCap), mask: xringCap - 1}
+}
+
+func (q *xring) put(m *xmsg, abort *atomic.Bool) {
+	w := q.w.Load()
+	for w-q.r.Load() == int64(len(q.buf)) {
+		if abort.Load() {
+			return // run is failing; the message can be dropped
+		}
+		runtime.Gosched()
+	}
+	q.buf[w&q.mask] = *m
+	q.w.Store(w + 1)
+}
+
+// stagedHeap is a binary min-heap of inbound cross-shard messages ordered by
+// the event queue's own strict total order (t, then the packed
+// node/kind/arg key), so the due-point scan in processUntilAsync compares
+// like with like.
+type stagedHeap struct {
+	ms []xmsg
+}
+
+// xmsgKey packs node/kind/arg exactly as event.key does (heap.go). Staged
+// arrivals carry arg 0 (their heap arg is assigned at insertion, from the
+// receiver's packet pool), which makes simultaneous arrivals at one node a
+// single group - and their relative staging order irrelevant, since the
+// coalescing accumulator (or the event heap) re-establishes the
+// pid-independent arrival order on insertion.
+func xmsgKey(m *xmsg) uint64 {
+	return uint64(uint32(m.node))<<35 | uint64(m.kind)<<32 | uint64(uint32(m.arg))
+}
+
+func xmsgLess(a, b *xmsg) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return xmsgKey(a) < xmsgKey(b)
+}
+
+func (h *stagedHeap) len() int   { return len(h.ms) }
+func (h *stagedHeap) top() *xmsg { return &h.ms[0] }
+func (h *stagedHeap) reset()     { h.ms = h.ms[:0] }
+
+func (h *stagedHeap) push(m *xmsg) {
+	h.ms = append(h.ms, *m)
+	i := len(h.ms) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !xmsgLess(&h.ms[i], &h.ms[p]) {
+			break
+		}
+		h.ms[i], h.ms[p] = h.ms[p], h.ms[i]
+		i = p
+	}
+}
+
+func (h *stagedHeap) pop() xmsg {
+	root := h.ms[0]
+	last := len(h.ms) - 1
+	h.ms[0] = h.ms[last]
+	h.ms = h.ms[:last]
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= last {
+			break
+		}
+		if c+1 < last && xmsgLess(&h.ms[c+1], &h.ms[c]) {
+			c++
+		}
+		if !xmsgLess(&h.ms[c], &h.ms[i]) {
+			break
+		}
+		h.ms[i], h.ms[c] = h.ms[c], h.ms[i]
+		i = c
+	}
+	return root
+}
+
+// asyncState is the shared coordination state of one async run: the three
+// published arrays (clocks, termination generations, idle flags), the
+// in-flight message count, the run-wide abort/done flags, the per-run
+// lookahead matrix, and the per-pair rings. Built once per shard count in
+// ensureShards and recycled across runs (prepareAsync re-derives the
+// run-dependent parts), so steady-state runs stay allocation-free.
+type asyncState struct {
+	clocks *parallel.Clocks // published fully-processed virtual times
+	gens   *parallel.Clocks // per-shard progress generations (bumped on staging)
+	idle   *parallel.Clocks // per-shard idle flags (1 = locally quiescent)
+	msgs   atomic.Int64     // messages sent but not yet staged by their receiver
+	done   atomic.Bool      // double-scan termination succeeded
+	abort  atomic.Bool      // a shard failed; everyone unwinds
+
+	mu   sync.Mutex
+	ferr error // first error, wall-clock order (fallback when e.err is racier)
+
+	look             []int64 // [src*s+dst] lookahead; maxInt64 = unconstrained
+	lookMin, lookMax int64
+
+	// outbox[src][dst] is the ring for that ordered pair, nil unless the
+	// slabs are boundary-adjacent (direct messages only ever cross one
+	// boundary); inbox[dst] lists the same rings in src order for draining.
+	outbox [][]*xring
+	inbox  [][]*xring
+}
+
+func (st *asyncState) send(src, dst int32, m *xmsg) {
+	q := st.outbox[src][dst]
+	if q == nil {
+		panic("network: async cross-shard message between non-adjacent shards")
+	}
+	// The counter rises before the message is visible and falls only after
+	// it is staged (drainRingsAsync), so msgs == 0 in the termination scan
+	// really means "nothing in flight".
+	st.msgs.Add(1)
+	q.put(m, &st.abort)
+}
+
+func (st *asyncState) failed() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.ferr
+}
+
+// engineAsync is the engine-private half of the async machinery.
+type engineAsync struct {
+	st        *asyncState
+	staged    stagedHeap
+	clock     int64   // last published clock (mirrors st.clocks[id])
+	clockSnap []int64 // scratch: peer clocks snapshotted before draining
+	genSnap   []int64 // scratch: first scan of the termination detector
+	blocked   bool
+	blockedAt time.Time
+}
+
+func (ax *engineAsync) reset() {
+	ax.st = nil
+	ax.staged.reset()
+	ax.clock = 0
+	ax.blocked = false
+}
+
+// deriveShardDist computes the shard-graph boundary hop distance between
+// every pair of slabs: shards are vertices, with an edge wherever some owned
+// node has a physical neighbour (including wraparound links) in the other
+// shard. BFS from each shard; -1 marks unreachable pairs (which then carry
+// no lookahead constraint - no direct message can cross them either).
+func (nw *Network) deriveShardDist(s int) {
+	adj := make([][]int32, s)
+	var mark []bool
+	for i := 0; i < s; i++ {
+		mark = append(mark[:0], make([]bool, s)...)
+		lo := int32(nw.P * i / s)
+		hi := int32(nw.P * (i + 1) / s)
+		for n := lo; n < hi; n++ {
+			for d := 0; d < numDirs; d++ {
+				nb := nw.nbrs[linkIdx(n, d)]
+				if nb < 0 {
+					continue // mesh edge
+				}
+				if j := int(nw.shardOf[nb]); j != i && !mark[j] {
+					mark[j] = true
+					adj[i] = append(adj[i], int32(j))
+				}
+			}
+		}
+	}
+	nw.shardDist = make([]int32, s*s)
+	queue := make([]int32, 0, s)
+	for i := 0; i < s; i++ {
+		row := nw.shardDist[i*s : (i+1)*s]
+		for j := range row {
+			row[j] = -1
+		}
+		row[i] = 0
+		queue = append(queue[:0], int32(i))
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range adj[u] {
+				if row[v] < 0 {
+					row[v] = row[u] + 1
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+}
+
+// prepareAsync re-derives the run-dependent async state: zeroed clocks and
+// detector arrays, the lookahead matrix from the structural shard distances
+// and this run's window, and empty rings. No allocation on the steady path.
+func (nw *Network) prepareAsync(s int, window int64) {
+	st := &nw.async
+	st.clocks.Reset()
+	st.gens.Reset()
+	st.idle.Reset()
+	st.msgs.Store(0)
+	st.done.Store(false)
+	st.abort.Store(false)
+	st.mu.Lock()
+	st.ferr = nil
+	st.mu.Unlock()
+	st.lookMin, st.lookMax = maxInt64, 0
+	for i := 0; i < s; i++ {
+		for j := 0; j < s; j++ {
+			d := nw.shardDist[i*s+j]
+			if i == j || d < 0 {
+				st.look[i*s+j] = maxInt64
+				continue
+			}
+			l := int64(d) * window
+			st.look[i*s+j] = l
+			if l < st.lookMin {
+				st.lookMin = l
+			}
+			if l > st.lookMax {
+				st.lookMax = l
+			}
+		}
+	}
+	if st.lookMin == maxInt64 {
+		st.lookMin = 0
+	}
+	for _, row := range st.outbox {
+		for _, q := range row {
+			if q != nil {
+				q.r.Store(q.w.Load()) // drop residue from an aborted prior run
+			}
+		}
+	}
+}
+
+// safeTarget computes this shard's horizon from the snapshotted peer clocks.
+// The snapshot is taken BEFORE draining the rings: any message with
+// t < snap[j] + look[j][i] was put into its ring before shard j published
+// snap[j] (publish-after-process), so the later drain is guaranteed to have
+// staged it. Overflow (idle shards chase their clocks upward without bound
+// until the termination scan lands) clamps to maxInt64.
+func (e *engine) safeTarget(snap []int64) int64 {
+	st := e.ax.st
+	s := len(snap)
+	id := int(e.id)
+	t := int64(maxInt64)
+	for j := 0; j < s; j++ {
+		if j == id {
+			continue
+		}
+		l := st.look[j*s+id]
+		if l == maxInt64 {
+			continue
+		}
+		b := snap[j] + l
+		if b < snap[j] {
+			b = maxInt64
+		}
+		if b < t {
+			t = b
+		}
+	}
+	return t
+}
+
+// drainRingsAsync stages every inbound message onto the staged heap. The
+// termination-detector discipline is load-bearing and ordered: the idle flag
+// drops BEFORE any staging, the generation counter bumps after, and the
+// in-flight count falls LAST - so a scanner that saw idle=1 and msgs==0 with
+// stable generations cannot have missed work this drain acquired (the
+// double-scan proof in tryTerminate leans on exactly this order).
+func (e *engine) drainRingsAsync() (int, error) {
+	st := e.ax.st
+	id := int(e.id)
+	n := 0
+	var verr error
+	for _, q := range st.inbox[id] {
+		r := q.r.Load()
+		w := q.w.Load()
+		if r == w {
+			continue
+		}
+		if n == 0 {
+			st.idle.Publish(id, 0)
+		}
+		for ; r < w; r++ {
+			m := &q.buf[r&q.mask]
+			if e.par.Check && verr == nil && m.t < e.ax.clock {
+				verr = e.checkInboundAsync(m)
+			}
+			e.ax.staged.push(m)
+			n++
+		}
+		q.r.Store(r)
+	}
+	if n > 0 {
+		st.gens.Publish(id, st.gens.Load(id)+1)
+		st.msgs.Add(int64(-n))
+	}
+	return n, verr
+}
+
+// checkInboundAsync is the async engine's cross-shard monotonicity audit,
+// the conservative protocol's whole correctness argument restated: a message
+// landing behind the receiver's published clock means some sender violated
+// its lookahead promise.
+func (e *engine) checkInboundAsync(m *xmsg) *check.Violation {
+	return check.Violatef(check.MonotonicTime, m.node, e.ax.clock,
+		"cross-shard %s scheduled at t=%d behind the receiving shard's published clock %d (lookahead horizon violated)",
+		eventKindName(m.kind), m.t, e.ax.clock)
+}
+
+// tryTerminate is one attempt of the double-scan termination detector. It
+// succeeds only when, at the instant of the msgs read, every shard was
+// locally quiescent and nothing was in flight. Proof sketch: suppose shard k
+// had (or later acquires) work traceable to before the msgs read. That work
+// arrived by staging, whose discipline is idle=0, stage, gen++, msgs-- (in
+// that order, all sequentially consistent). If k's idle drop preceded our
+// idle read we saw 0 and failed. Otherwise our idle read - and therefore our
+// earlier first gen scan - preceded k's gen bump, while our second gen scan
+// follows the msgs read, which follows k's msgs decrement, which follows the
+// bump: the two scans disagree and we fail. A message in flight at the msgs
+// read keeps the counter positive directly. False termination is
+// additionally backstopped by runSharded's in-flight/active-source stall
+// check.
+func (e *engine) tryTerminate() bool {
+	st := e.ax.st
+	s := st.gens.Len()
+	g := e.ax.genSnap
+	for j := 0; j < s; j++ {
+		g[j] = st.gens.Load(j)
+	}
+	for j := 0; j < s; j++ {
+		if st.idle.Load(j) == 0 {
+			return false
+		}
+	}
+	if st.msgs.Load() != 0 {
+		return false
+	}
+	for j := 0; j < s; j++ {
+		if st.gens.Load(j) != g[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// asyncFail records this shard's error and aborts the run: peers observe the
+// flag at their next loop top (and ring producers stop spinning on it).
+func (e *engine) asyncFail(err error) {
+	if e.err == nil {
+		e.err = err
+	}
+	st := e.ax.st
+	st.mu.Lock()
+	if st.ferr == nil {
+		st.ferr = err
+	}
+	st.mu.Unlock()
+	st.abort.Store(true)
+}
+
+// runAsync is one shard worker of the asynchronous conservative engine. No
+// start barrier: the initial injections' first cross-shard effects all land
+// at t >= shardSafeWindow, which the zero clock every shard starts from
+// already promises.
+func (e *engine) runAsync(maxTime int64, wg *sync.WaitGroup) {
+	if wg != nil {
+		defer wg.Done()
+	}
+	st := e.ax.st
+	id := int(e.id)
+	e.armFaults(maxTime)
+	for n := e.lo; n < e.hi; n++ {
+		e.maybeRunCPU(n)
+	}
+	var bo parallel.Backoff
+	snap := e.ax.clockSnap
+	for {
+		if st.done.Load() || st.abort.Load() {
+			break
+		}
+		if e.cancel != nil {
+			select {
+			case <-e.cancel:
+				e.asyncFail(fmt.Errorf("%w at t=%d (async horizon)", ErrCanceled, e.now))
+				continue // loop top observes abort and unwinds
+			default:
+			}
+		}
+		// Snapshot clocks, THEN drain: see safeTarget for why this order is
+		// what makes the horizon sound.
+		for j := range snap {
+			snap[j] = st.clocks.Load(j)
+		}
+		drained, verr := e.drainRingsAsync()
+		if verr != nil {
+			e.asyncFail(verr)
+			continue
+		}
+		target := e.safeTarget(snap)
+		quiet := drained == 0 && e.evq.len() == 0 && e.ax.staged.len() == 0
+		if target > e.ax.clock {
+			if e.ax.blocked {
+				e.ax.blocked = false
+				e.syncWaitNs += time.Since(e.ax.blockedAt).Nanoseconds()
+			}
+			if !quiet {
+				if err := e.processUntilAsync(target, maxTime); err != nil {
+					e.asyncFail(err)
+					continue
+				}
+				e.syncAdvances++
+			}
+			// Publish-after-process: the clock moves only once every event
+			// below it has dispatched (or, when quiet, once it provably has
+			// none), never earlier - peers size their horizons off it.
+			e.ax.clock = target
+			st.clocks.Publish(id, target)
+			bo.Reset()
+			if !quiet {
+				continue
+			}
+		}
+		if quiet {
+			// Locally quiescent: publish the idle flag and try to close the
+			// run. The clock keeps chasing its horizon above (an idle shard
+			// must keep promising "nothing before t" or it wedges its
+			// neighbours), but an empty advance is not progress for the
+			// detector.
+			st.idle.Publish(id, 1)
+			if e.tryTerminate() {
+				st.done.Store(true)
+				break
+			}
+		}
+		if !e.ax.blocked {
+			e.ax.blocked = true
+			e.ax.blockedAt = time.Now()
+			e.syncWaits++
+		}
+		bo.Wait()
+	}
+	if e.ax.blocked {
+		e.ax.blocked = false
+		e.syncWaitNs += time.Since(e.ax.blockedAt).Nanoseconds()
+	}
+}
+
+// processUntilAsync is processUntil with the staged-message due-point scan
+// woven in: before every pop, any staged (t, node, kind) group whose
+// boundary key (arg 0 - which is also where a coalesced marker for the same
+// group would sort) is <= the heap top is inserted whole. Inserting the
+// whole group before its marker can pop is what keeps a replayed batch
+// complete, and inserting at the boundary key rather than each message's own
+// arg keeps heap-ordered credits from slipping ahead of it.
+func (e *engine) processUntilAsync(tend, maxTime int64) error {
+	poll := 0
+	for {
+		for e.ax.staged.len() > 0 {
+			m := e.ax.staged.top()
+			if m.t >= tend {
+				break
+			}
+			if e.evq.len() > 0 && less(e.evq.top(), mkEvent(m.t, m.node, 0, m.kind)) {
+				break
+			}
+			e.applyStagedGroup(m.t, m.node, m.kind)
+			if e.par.Check && e.vio != nil {
+				return e.vio
+			}
+		}
+		if e.evq.len() == 0 || e.evq.top().t >= tend {
+			return nil
+		}
+		if e.cancel != nil {
+			if poll++; poll&8191 == 0 {
+				select {
+				case <-e.cancel:
+					return fmt.Errorf("%w at t=%d (%d events in queue)", ErrCanceled, e.now, e.evq.len())
+				default:
+				}
+			}
+		}
+		ev := e.evq.pop()
+		if ev.t < e.now {
+			return fmt.Errorf("network: time went backwards (%d < %d)", ev.t, e.now)
+		}
+		e.now = ev.t
+		if e.now > maxTime {
+			return fmt.Errorf("%w %d (in flight %d, active sources %d)",
+				ErrMaxTime, maxTime, e.inFlight, e.activeSrc)
+		}
+		e.dispatch(ev)
+		if e.par.Check && e.vio != nil {
+			return e.vio
+		}
+	}
+}
+
+// applyStagedGroup inserts every staged message of one (t, node, kind) group
+// into the simulator, through the same paths drainInboxes uses at a BSP
+// window barrier - so the coalescing accumulators, the elision predicate,
+// and the queued-event accounting behave identically per virtual time.
+func (e *engine) applyStagedGroup(t int64, node int32, kind uint8) {
+	for e.ax.staged.len() > 0 {
+		m := e.ax.staged.top()
+		if m.t != t || m.node != node || m.kind != kind {
+			break
+		}
+		mm := e.ax.staged.pop()
+		e.applyStaged(&mm)
+	}
+}
+
+func (e *engine) applyStaged(m *xmsg) {
+	if e.par.Check && e.vio == nil && m.t < e.now {
+		e.vio = check.Violatef(check.MonotonicTime, m.node, e.now,
+			"staged cross-shard %s at t=%d inserted behind the shard clock %d (lookahead horizon violated)",
+			eventKindName(m.kind), m.t, e.now)
+	}
+	if m.kind == evArrive {
+		pid := e.allocPkt()
+		e.pkts[pid] = m.pkt
+		e.inFlight++
+		if e.coal {
+			e.scheduleArrive(m.t, m.node, arriveArg(m.pkt.inDir, pid))
+		} else {
+			e.evq.push(mkEvent(m.t, m.node, arriveArg(m.pkt.inDir, pid), evArrive))
+		}
+		return
+	}
+	if e.coal {
+		// The elision test runs at the deterministic insertion point, where
+		// this node's outBusy reflects everything before m.t - the same
+		// predicate as sendCredit's local path. (It may elide strictly more
+		// than a BSP drain does, which evaluates with an earlier busy
+		// horizon: that is the one place QueuedEvents legitimately depends
+		// on Sync. Link state and logical event counts do not.)
+		if dir, _, _ := creditUnpack(m.arg); e.outBusy[linkIdx(m.node, dir)] > m.t ||
+			e.deadThrough(m.node, dir, m.t) {
+			e.stashCredit(m.node, m.t, m.arg)
+		} else {
+			e.scheduleCredit(m.node, m.t, m.arg)
+		}
+		return
+	}
+	e.evq.push(mkEvent(m.t, m.node, m.arg, evCredit))
+}

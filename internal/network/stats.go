@@ -32,11 +32,13 @@ type Stats struct {
 	// logical credits/arrivals share one queued marker or are elided
 	// entirely (coalesce.go), so it is smaller -
 	// QueuedEvents/PacketsInjected is the event-volume metric the bench
-	// regression gate watches. Deterministic for a fixed (params, shards)
-	// configuration and invariant across event-queue structures; in
-	// coalesced mode it can differ by a few counts across shard counts
-	// (boundary credits make their elision decision at the receiving
-	// shard's barrier), while every other statistic stays byte-identical.
+	// regression gate watches. Deterministic for a fixed (params, shards,
+	// sync) configuration and invariant across event-queue structures; in
+	// coalesced mode it can differ by a few counts across shard counts and
+	// sync protocols (boundary credits make their elision decision at the
+	// receiving shard's commit point — the safe-horizon insertion under
+	// async, the window barrier under bsp), while every other statistic
+	// stays byte-identical.
 	QueuedEvents int64
 
 	// GrantsByVC counts link grants per virtual channel (dyn0, dyn1,

@@ -1,0 +1,98 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// Clocks is a fixed-size array of independently published int64 values, one
+// per worker, each padded to its own cache line so a publisher never
+// invalidates its neighbors' lines. It is the communication primitive of the
+// asynchronous conservative engine (network.SyncAsync): each shard publishes
+// the virtual time it has fully processed, and every other shard reads those
+// clocks to bound its own safe horizon. The same structure doubles as the
+// progress-generation and idle-flag arrays of the termination detector.
+//
+// Publish and Load use Go's atomic Store/Load, which are sequentially
+// consistent: everything a shard wrote before Publish(i, t) - in particular
+// the cross-shard messages it appended to its outbound rings - is visible to
+// any shard that observes clock i at (or past) t. That release/acquire pairing
+// is what makes "read clocks, then drain rings" a sound protocol order on the
+// consumer side (see network/shard_async.go).
+type Clocks struct {
+	slots []clockSlot
+}
+
+// clockSlot pads each published value to a 64-byte cache line.
+type clockSlot struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// NewClocks returns n clocks, all zero.
+func NewClocks(n int) *Clocks {
+	return &Clocks{slots: make([]clockSlot, n)}
+}
+
+// Len returns the number of clocks.
+func (c *Clocks) Len() int { return len(c.slots) }
+
+// Publish atomically stores v as clock i.
+func (c *Clocks) Publish(i int, v int64) { c.slots[i].v.Store(v) }
+
+// Load atomically reads clock i.
+func (c *Clocks) Load(i int) int64 { return c.slots[i].v.Load() }
+
+// Reset zeroes every clock. Callers must ensure no concurrent publishers.
+func (c *Clocks) Reset() {
+	for i := range c.slots {
+		c.slots[i].v.Store(0)
+	}
+}
+
+// Backoff is an exponential waiting strategy for a shard whose safe horizon
+// is blocked on its peers: a few busy spins (the peer is usually mid-window
+// and finishes in nanoseconds), then cooperative yields, then escalating
+// sleeps capped low enough that a freshly unblocked horizon is picked up
+// quickly. The zero value is ready to use; Reset after any progress.
+type Backoff struct {
+	fails int
+}
+
+// spin/yield thresholds and the sleep cap. Yield early: on a single-core
+// host every spin iteration only delays the peer that would unblock us.
+const (
+	backoffSpin  = 4                      // pure spins before yielding
+	backoffYield = 64                     // Gosched rounds before sleeping
+	backoffCap   = 128 * time.Microsecond // longest single sleep
+)
+
+// Reset clears the failure streak; call after the awaited condition held.
+func (b *Backoff) Reset() { b.fails = 0 }
+
+// Wait blocks appropriately for the current failure streak and records one
+// more failure.
+func (b *Backoff) Wait() {
+	b.fails++
+	switch {
+	case b.fails <= backoffSpin:
+		// Busy spin: cheap, and the common case resolves here on
+		// multi-core hosts.
+	case b.fails <= backoffYield:
+		runtime.Gosched()
+	default:
+		d := time.Microsecond << uint(min(b.fails-backoffYield, 7))
+		if d > backoffCap {
+			d = backoffCap
+		}
+		time.Sleep(d)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,114 @@
+package parallel
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestClocksBasics(t *testing.T) {
+	c := NewClocks(3)
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+	for i := 0; i < 3; i++ {
+		if v := c.Load(i); v != 0 {
+			t.Fatalf("fresh clock %d = %d, want 0", i, v)
+		}
+	}
+	c.Publish(1, 42)
+	if got := c.Load(1); got != 42 {
+		t.Fatalf("Load(1) = %d, want 42", got)
+	}
+	if got := c.Load(0); got != 0 {
+		t.Fatalf("Publish(1) disturbed clock 0: %d", got)
+	}
+	c.Reset()
+	for i := 0; i < 3; i++ {
+		if v := c.Load(i); v != 0 {
+			t.Fatalf("clock %d = %d after Reset, want 0", i, v)
+		}
+	}
+}
+
+// TestClocksPublishOrdering pins the release/acquire contract the async
+// engine leans on: data written before Publish must be visible to a reader
+// that observed the published value. Run under -race this also proves the
+// pattern is a proper synchronization edge, not a benign data race.
+func TestClocksPublishOrdering(t *testing.T) {
+	const rounds = 2000
+	c := NewClocks(1)
+	data := make([]int64, rounds+1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := int64(1); i <= rounds; i++ {
+			data[i] = i * 3 // the "ring append" before the publish
+			c.Publish(0, i)
+		}
+	}()
+	seen := int64(0)
+	for seen < rounds {
+		v := c.Load(0)
+		if v < seen {
+			t.Fatalf("clock went backwards: %d after %d", v, seen)
+		}
+		if v > seen {
+			if data[v] != v*3 {
+				t.Fatalf("observed clock %d but data[%d] = %d (publish did not order the write)",
+					v, v, data[v])
+			}
+			seen = v
+		}
+	}
+	wg.Wait()
+}
+
+func TestClocksConcurrentSlots(t *testing.T) {
+	const workers, steps = 8, 1000
+	c := NewClocks(workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for v := int64(1); v <= steps; v++ {
+				c.Publish(w, v)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if got := c.Load(w); got != steps {
+			t.Errorf("clock %d = %d, want %d", w, got, steps)
+		}
+	}
+}
+
+// TestBackoffEscalation checks the waiting schedule's shape: the first few
+// waits spin (no sleep), the streak escalates into bounded sleeps, and Reset
+// returns to the spin phase.
+func TestBackoffEscalation(t *testing.T) {
+	var b Backoff
+	start := time.Now()
+	for i := 0; i < backoffSpin; i++ {
+		b.Wait()
+	}
+	if d := time.Since(start); d > 10*time.Millisecond {
+		t.Errorf("spin phase took %v; should not sleep", d)
+	}
+	// Drive deep into the sleep phase: every wait must stay under the cap
+	// (plus generous scheduler slack).
+	for i := 0; i < 20; i++ {
+		s := time.Now()
+		b.Wait()
+		if d := time.Since(s); d > backoffCap+50*time.Millisecond {
+			t.Fatalf("wait %d slept %v, cap is %v", i, d, backoffCap)
+		}
+	}
+	b.Reset()
+	if b.fails != 0 {
+		t.Fatalf("fails = %d after Reset", b.fails)
+	}
+}

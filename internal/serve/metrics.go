@@ -60,6 +60,14 @@ type metrics struct {
 	simEvents  atomic.Int64 // logical simulator events across served jobs
 	simPackets atomic.Int64 // packets injected across served jobs
 
+	// Sharded-engine synchronization counters, folded from each job's
+	// SyncStats out-parameter (all zero while every job runs unsharded).
+	syncAdvances atomic.Int64 // horizon advances (windows or clock steps)
+	syncWaits    atomic.Int64 // blocked waits (barriers or backoff episodes)
+	syncWaitNs   atomic.Int64 // wall-clock ns spent blocked (async only)
+	syncXEvents  atomic.Int64 // events shipped across shard boundaries
+	syncXBytes   atomic.Int64 // bytes shipped across shard boundaries
+
 	mu           sync.Mutex
 	byStrategy   map[collective.Strategy]*latHist
 	observedJobs int64
@@ -78,6 +86,16 @@ func (m *metrics) noteCacheMiss() { m.accepted.Add(1); m.misses.Add(1) }
 func (m *metrics) noteRejected()  { m.accepted.Add(-1); m.rejected.Add(1) } // submit counted it as a miss first
 func (m *metrics) noteStart()     { m.inFlight.Add(1) }
 func (m *metrics) noteDone()      { m.inFlight.Add(-1) }
+
+// noteSync folds one successful job's sharded-engine synchronization
+// counters into the service totals.
+func (m *metrics) noteSync(ss *network.SyncStats) {
+	m.syncAdvances.Add(ss.HorizonAdvances)
+	m.syncWaits.Add(ss.BlockedWaits)
+	m.syncWaitNs.Add(ss.BlockedWaitNs)
+	m.syncXEvents.Add(ss.CrossShardEvents)
+	m.syncXBytes.Add(ss.CrossShardBytes)
+}
 
 // noteJob records one finished (or canceled-in-queue) job.
 func (m *metrics) noteJob(strat collective.Strategy, d time.Duration, ok bool, res *collective.Result) {
@@ -155,6 +173,12 @@ type metricsBody struct {
 	SimPackets      int64   `json:"sim_packets"`
 	SimEventsPerSec float64 `json:"sim_events_per_sec"`
 
+	SyncAdvances int64 `json:"sync_horizon_advances"`
+	SyncWaits    int64 `json:"sync_blocked_waits"`
+	SyncWaitNs   int64 `json:"sync_blocked_wait_ns"`
+	SyncXEvents  int64 `json:"sync_cross_shard_events"`
+	SyncXBytes   int64 `json:"sync_cross_shard_bytes"`
+
 	ObservedJobs int64                `json:"observed_jobs"`
 	BytesByVC    [network.NumVC]int64 `json:"observed_bytes_by_vc"`
 	BytesByDim   [torus.NumDims]int64 `json:"observed_bytes_by_dim"`
@@ -180,6 +204,11 @@ func (m *metrics) body(workers, queueCap, queueDepth, cacheEntries int) metricsB
 		SimRuns:       m.simRuns.Load(),
 		SimEvents:     m.simEvents.Load(),
 		SimPackets:    m.simPackets.Load(),
+		SyncAdvances:  m.syncAdvances.Load(),
+		SyncWaits:     m.syncWaits.Load(),
+		SyncWaitNs:    m.syncWaitNs.Load(),
+		SyncXEvents:   m.syncXEvents.Load(),
+		SyncXBytes:    m.syncXBytes.Load(),
 	}
 	if hits+misses > 0 {
 		b.CacheHitRate = float64(hits) / float64(hits+misses)

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"alltoall/internal/collective"
+	"alltoall/internal/network"
 )
 
 // ErrQueueFull is returned by admission control when a job cannot be
@@ -96,12 +97,17 @@ func (j *job) finish(res collective.Result, body []byte, err error) {
 }
 
 // runFunc executes one canonical request; the default is
-// collective.RunRequest with the worker's network cache attached. Tests
-// substitute blocking or failing runners to exercise scheduling edges.
-type runFunc func(ctx context.Context, req collective.Request, cache *collective.NetCache) (collective.Result, error)
+// collective.RunRequest with the worker's network cache attached and the
+// sharded engine's synchronization counters collected into ss (which may be
+// nil). Tests substitute blocking or failing runners to exercise scheduling
+// edges.
+type runFunc func(ctx context.Context, req collective.Request, cache *collective.NetCache, ss *network.SyncStats) (collective.Result, error)
 
-func defaultRun(ctx context.Context, req collective.Request, cache *collective.NetCache) (collective.Result, error) {
-	return collective.RunRequest(ctx, req, func(o *collective.Options) { o.Cache = cache })
+func defaultRun(ctx context.Context, req collective.Request, cache *collective.NetCache, ss *network.SyncStats) (collective.Result, error) {
+	return collective.RunRequest(ctx, req, func(o *collective.Options) {
+		o.Cache = cache
+		o.SyncStats = ss
+	})
 }
 
 // scheduler runs jobs on a bounded worker pool behind a bounded FIFO queue.
@@ -181,7 +187,8 @@ func (s *scheduler) worker() {
 		j.setStatus(statusRunning)
 		s.metrics.noteStart()
 		start := time.Now()
-		res, err := s.run(j.ctx, j.req, cache)
+		var ss network.SyncStats
+		res, err := s.run(j.ctx, j.req, cache, &ss)
 		elapsed := time.Since(start)
 		var body []byte
 		if err == nil {
@@ -195,6 +202,7 @@ func (s *scheduler) worker() {
 			j.finish(collective.Result{}, nil, err)
 			continue
 		}
+		s.metrics.noteSync(&ss)
 		s.metrics.noteJob(j.req.Strategy, elapsed, true, &res)
 		j.finish(res, body, nil)
 	}

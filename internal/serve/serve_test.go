@@ -146,7 +146,7 @@ func TestBadShapeMapping(t *testing.T) {
 // blockingRun is a runFunc that parks jobs until released (or their context
 // dies), for deterministic queue-full and cancellation tests.
 func blockingRun(release chan struct{}) runFunc {
-	return func(ctx context.Context, req collective.Request, cache *collective.NetCache) (collective.Result, error) {
+	return func(ctx context.Context, req collective.Request, cache *collective.NetCache, ss *network.SyncStats) (collective.Result, error) {
 		select {
 		case <-release:
 			return collective.Result{Strategy: req.Strategy, Shape: req.Shape, MsgBytes: req.MsgBytes}, nil
